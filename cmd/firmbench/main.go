@@ -1,0 +1,130 @@
+// Command firmbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	firmbench -list
+//	firmbench -run fig3 -scale quick -seed 42
+//	firmbench -run all -scale full
+//
+// Each experiment prints the rows/series of the corresponding paper
+// artifact; EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"firm/internal/experiments"
+)
+
+type runner func(sc experiments.Scale, seed int64) (fmt.Stringer, error)
+
+func registry() map[string]runner {
+	return map[string]runner{
+		"fig1": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig1(sc, seed)
+		},
+		"table1": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Table1(sc, seed)
+		},
+		"fig3": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig3(sc, seed)
+		},
+		"fig4": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig4(sc, seed)
+		},
+		"fig5": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig5(sc, seed)
+		},
+		"fig9a": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig9a(sc, seed)
+		},
+		"fig9b": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig9b(sc, seed)
+		},
+		"fig9c": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig9c(seed), nil
+		},
+		"fig10": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig10(sc, seed)
+		},
+		"fig11a": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig11a(sc, seed)
+		},
+		"fig11b": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Fig11b(sc, seed)
+		},
+		"table6": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Table6(sc, seed)
+		},
+		"headline": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+			return experiments.Headline(sc, seed)
+		},
+	}
+}
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run, or 'all'")
+		scale = flag.String("scale", "quick", "quick|full")
+		seed  = flag.Int64("seed", 42, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	reg := registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, id := range ids {
+			fmt.Println("  " + id)
+		}
+		if *run == "" {
+			fmt.Println("\nrun with: firmbench -run <id> [-scale quick|full] [-seed N]")
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var selected []string
+	if *run == "all" {
+		selected = ids
+	} else {
+		if _, ok := reg[*run]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		selected = []string{*run}
+	}
+
+	for _, id := range selected {
+		fmt.Printf("=== %s (scale=%s seed=%d) ===\n", id, sc.Name, *seed)
+		start := time.Now()
+		res, err := reg[id](sc, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

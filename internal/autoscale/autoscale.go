@@ -1,0 +1,169 @@
+// Package autoscale implements the two rule-based baselines the paper
+// compares FIRM against (§4.1):
+//
+//   - HPA: the Kubernetes horizontal pod autoscaler algorithm — per-service
+//     replica counts track a CPU-utilization target
+//     (desired = ceil(ready × currentUtil / targetUtil)).
+//   - AIMD: additive-increase/multiplicative-decrease control of each
+//     container's per-resource limits, the classic distributed
+//     resource-management scheme of Gevros & Crowcroft / Stüdli et al.
+//
+// Both are driven by the same telemetry the FIRM controller sees, and both
+// actuate through the deployment module, paying the same Table 6 operation
+// latencies.
+package autoscale
+
+import (
+	"math"
+
+	"firm/internal/cluster"
+	"firm/internal/deploy"
+	"firm/internal/sim"
+)
+
+// HPA approximates the Kubernetes autoscaling baseline.
+type HPA struct {
+	Target      float64  // CPU utilization target (K8s default 0.8 in the paper's setup)
+	SyncPeriod  sim.Time // control loop period
+	MinReplicas int
+	MaxReplicas int
+	Tolerance   float64 // K8s default 0.1: no action within ±10% of target
+
+	cl     *cluster.Cluster
+	dep    *deploy.Module
+	ticker *sim.Ticker
+
+	ScaleOutOps uint64
+	ScaleInOps  uint64
+}
+
+// NewHPA builds the Kubernetes-autoscaler baseline over all services.
+func NewHPA(cl *cluster.Cluster, dep *deploy.Module, target float64, sync sim.Time) *HPA {
+	h := &HPA{
+		Target: target, SyncPeriod: sync,
+		MinReplicas: 1, MaxReplicas: 8, Tolerance: 0.1,
+		cl: cl, dep: dep,
+	}
+	h.ticker = sim.NewTicker(cl.Engine(), sync, h.tick)
+	return h
+}
+
+// Start begins the control loop.
+func (h *HPA) Start() { h.ticker.Start() }
+
+// Stop halts the control loop.
+func (h *HPA) Stop() { h.ticker.Stop() }
+
+func (h *HPA) tick() {
+	for _, rs := range h.cl.ReplicaSets() {
+		ready := rs.ReadyCount()
+		if ready == 0 {
+			continue
+		}
+		util := rs.Utilization()[cluster.CPU]
+		ratio := util / h.Target
+		if math.Abs(ratio-1) <= h.Tolerance {
+			continue
+		}
+		desired := int(math.Ceil(float64(ready) * ratio))
+		if desired < h.MinReplicas {
+			desired = h.MinReplicas
+		}
+		if desired > h.MaxReplicas {
+			desired = h.MaxReplicas
+		}
+		switch {
+		case desired > ready:
+			// K8s adds pods one sync period at a time against cold images
+			// when the node has none warm; warm start dominates in steady
+			// clusters, so warm is used here.
+			for i := ready; i < desired; i++ {
+				if _, err := h.dep.ScaleOut(rs, rs.Containers()[0].Limits(), false, nil); err != nil {
+					break
+				}
+				h.ScaleOutOps++
+			}
+		case desired < ready:
+			// Remove surplus replicas (never below MinReplicas).
+			cs := rs.Containers()
+			for i := 0; i < ready-desired && len(cs) > h.MinReplicas; i++ {
+				victim := cs[len(cs)-1]
+				if h.dep.ScaleIn(rs, victim) {
+					h.ScaleInOps++
+					cs = rs.Containers()
+				}
+			}
+		}
+	}
+}
+
+// AIMD is the additive-increase/multiplicative-decrease resource-limit
+// controller baseline.
+type AIMD struct {
+	// AddStep is the additive increase per congested resource per period.
+	AddStep cluster.Vector
+	// Beta is the multiplicative decrease factor for underutilized
+	// resources (0 < Beta < 1).
+	Beta float64
+	// HighUtil/LowUtil are the congestion/underutilization thresholds.
+	HighUtil, LowUtil float64
+	// Period is the control interval.
+	Period sim.Time
+
+	cl     *cluster.Cluster
+	dep    *deploy.Module
+	ticker *sim.Ticker
+
+	Increases uint64
+	Decreases uint64
+}
+
+// NewAIMD builds the AIMD baseline with conventional parameters.
+func NewAIMD(cl *cluster.Cluster, dep *deploy.Module, period sim.Time) *AIMD {
+	a := &AIMD{
+		AddStep:  cluster.V(1, 300, 1, 40, 60),
+		Beta:     0.9,
+		HighUtil: 0.85,
+		LowUtil:  0.30,
+		Period:   period,
+		cl:       cl,
+		dep:      dep,
+	}
+	a.ticker = sim.NewTicker(cl.Engine(), period, a.tick)
+	return a
+}
+
+// Start begins the control loop.
+func (a *AIMD) Start() { a.ticker.Start() }
+
+// Stop halts the control loop.
+func (a *AIMD) Stop() { a.ticker.Stop() }
+
+func (a *AIMD) tick() {
+	for _, rs := range a.cl.ReplicaSets() {
+		for _, c := range rs.Containers() {
+			if !c.Ready() {
+				continue
+			}
+			util := c.Utilization()
+			lim := c.Limits()
+			next := lim
+			changed := false
+			for r := cluster.Resource(0); r < cluster.NumResources; r++ {
+				switch {
+				case util[r] >= a.HighUtil:
+					next[r] = lim[r] + a.AddStep[r]
+					changed = true
+					a.Increases++
+				case util[r] <= a.LowUtil:
+					next[r] = lim[r] * a.Beta
+					changed = true
+					a.Decreases++
+				}
+			}
+			if changed {
+				a.dep.ApplyLimits(c, next, nil)
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package autoscale
+
+import (
+	"testing"
+
+	"firm/internal/cluster"
+	"firm/internal/deploy"
+	"firm/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *cluster.Cluster, *cluster.ReplicaSet, *deploy.Module) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.NoiseSD = 0
+	cl := cluster.New(eng, cfg)
+	cl.AddNode(cluster.XeonProfile)
+	cl.AddNode(cluster.XeonProfile)
+	rs, err := cl.DeployService("svc", 1, cluster.V(2, 2000, 8, 200, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cl, rs, deploy.New(eng, cl)
+}
+
+// saturate keeps the replica set's CPU busy by resubmitting work.
+func saturate(eng *sim.Engine, rs *cluster.ReplicaSet, perTick int) *sim.Ticker {
+	tk := sim.NewTicker(eng, 10*sim.Millisecond, func() {
+		for i := 0; i < perTick; i++ {
+			if c := rs.Pick(); c != nil {
+				c.Submit(cluster.Work{Base: 15 * sim.Millisecond, Demand: cluster.V(1, 100, 0, 0, 0)})
+			}
+		}
+	})
+	tk.Start()
+	return tk
+}
+
+func TestHPAScalesOutUnderLoad(t *testing.T) {
+	eng, cl, rs, dep := setup(t)
+	h := NewHPA(cl, dep, 0.5, sim.Second)
+	h.Start()
+	tk := saturate(eng, rs, 4) // 2 cores, ~6x oversubscribed
+	eng.RunUntil(30 * sim.Second)
+	tk.Stop()
+	if got := rs.ReadyCount(); got < 2 {
+		t.Fatalf("HPA did not scale out: %d replicas", got)
+	}
+	if h.ScaleOutOps == 0 {
+		t.Fatal("no scale-out ops recorded")
+	}
+}
+
+func TestHPAScalesInWhenIdle(t *testing.T) {
+	eng, cl, rs, dep := setup(t)
+	h := NewHPA(cl, dep, 0.5, sim.Second)
+	// Start with 3 replicas, no load.
+	rs.AddReplica(cluster.V(2, 2000, 8, 200, 200), false, true)
+	rs.AddReplica(cluster.V(2, 2000, 8, 200, 200), false, true)
+	h.Start()
+	eng.RunUntil(20 * sim.Second)
+	if got := rs.ReadyCount(); got != h.MinReplicas {
+		t.Fatalf("HPA did not scale in to min: %d replicas", got)
+	}
+	if h.ScaleInOps == 0 {
+		t.Fatal("no scale-in ops recorded")
+	}
+}
+
+func TestHPAToleranceBand(t *testing.T) {
+	eng, cl, rs, dep := setup(t)
+	h := NewHPA(cl, dep, 0.5, sim.Second)
+	h.Start()
+	// Hold utilization at ~0.5 (1 busy core of 2): inside tolerance.
+	tk := sim.NewTicker(eng, 5*sim.Millisecond, func() {
+		c := rs.Pick()
+		if c != nil && c.Busy() < 1 {
+			c.Submit(cluster.Work{Base: 20 * sim.Millisecond, Demand: cluster.V(1, 0, 0, 0, 0)})
+		}
+	})
+	tk.Start()
+	eng.RunUntil(15 * sim.Second)
+	tk.Stop()
+	if rs.ReadyCount() != 1 {
+		t.Fatalf("HPA acted inside tolerance band: %d replicas", rs.ReadyCount())
+	}
+}
+
+func TestHPARespectsMaxReplicas(t *testing.T) {
+	eng, cl, rs, dep := setup(t)
+	h := NewHPA(cl, dep, 0.1, sim.Second) // aggressive target
+	h.MaxReplicas = 2
+	h.Start()
+	tk := saturate(eng, rs, 8)
+	eng.RunUntil(30 * sim.Second)
+	tk.Stop()
+	if got := len(rs.Containers()); got > 2 {
+		t.Fatalf("HPA exceeded MaxReplicas: %d", got)
+	}
+}
+
+func TestHPAStop(t *testing.T) {
+	eng, cl, rs, dep := setup(t)
+	h := NewHPA(cl, dep, 0.5, sim.Second)
+	h.Start()
+	h.Stop()
+	tk := saturate(eng, rs, 4)
+	eng.RunUntil(10 * sim.Second)
+	tk.Stop()
+	if rs.ReadyCount() != 1 {
+		t.Fatal("stopped HPA still scaled")
+	}
+}
+
+func TestAIMDAdditiveIncreaseUnderCongestion(t *testing.T) {
+	eng, cl, rs, dep := setup(t)
+	a := NewAIMD(cl, dep, sim.Second)
+	a.Start()
+	tk := saturate(eng, rs, 4)
+	before := rs.Containers()[0].Limits()[cluster.CPU]
+	eng.RunUntil(20 * sim.Second)
+	tk.Stop()
+	after := rs.Containers()[0].Limits()[cluster.CPU]
+	if after <= before {
+		t.Fatalf("AIMD did not raise congested CPU limit: %v -> %v", before, after)
+	}
+	if a.Increases == 0 {
+		t.Fatal("no increases recorded")
+	}
+	// Additive: growth should be ≈ AddStep per congested period, not 2x.
+	if after > before+25 {
+		t.Fatalf("increase not additive: %v -> %v", before, after)
+	}
+}
+
+func TestAIMDMultiplicativeDecreaseWhenIdle(t *testing.T) {
+	eng, cl, rs, dep := setup(t)
+	a := NewAIMD(cl, dep, sim.Second)
+	a.Start()
+	before := rs.Containers()[0].Limits()
+	eng.RunUntil(10 * sim.Second)
+	after := rs.Containers()[0].Limits()
+	for r := cluster.Resource(0); r < cluster.NumResources; r++ {
+		if after[r] >= before[r] {
+			t.Fatalf("idle resource %v not decreased: %v -> %v", r, before[r], after[r])
+		}
+	}
+	if a.Decreases == 0 {
+		t.Fatal("no decreases recorded")
+	}
+	// Floor: limits never fall below the cluster minimum.
+	eng.RunUntil(5 * sim.Minute)
+	floor := cl.Config().MinLimit
+	lim := rs.Containers()[0].Limits()
+	for r := cluster.Resource(0); r < cluster.NumResources; r++ {
+		if lim[r] < floor[r]-1e-9 {
+			t.Fatalf("limit %v below floor: %v < %v", r, lim[r], floor[r])
+		}
+	}
+}
+
+func TestAIMDStop(t *testing.T) {
+	eng, cl, rs, dep := setup(t)
+	a := NewAIMD(cl, dep, sim.Second)
+	a.Start()
+	a.Stop()
+	before := rs.Containers()[0].Limits()
+	eng.RunUntil(10 * sim.Second)
+	if rs.Containers()[0].Limits() != before {
+		t.Fatal("stopped AIMD still acted")
+	}
+}

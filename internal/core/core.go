@@ -1,0 +1,440 @@
+// Package core implements the FIRM controller — the paper's primary
+// contribution (Fig. 6): a control loop that (1) collects execution history
+// graphs from the Tracing Coordinator, (2) detects SLO violations and
+// localizes culprit microservice instances with the critical-path and
+// critical-component extractors (SVM), (3) asks the RL Resource Estimator
+// (DDPG) for reprovisioning actions, and (4) actuates them through the
+// Deployment Module, which validates against node capacity and falls back
+// to scale-out.
+package core
+
+import (
+	"sort"
+
+	"firm/internal/agent"
+	"firm/internal/app"
+	"firm/internal/cluster"
+	"firm/internal/deploy"
+	"firm/internal/detect"
+	"firm/internal/rl"
+	"firm/internal/sim"
+	"firm/internal/stats"
+	"firm/internal/telemetry"
+	"firm/internal/tracedb"
+)
+
+// AgentProvider supplies the RL agent to use for a given microservice,
+// covering the paper's three variants: one-for-all (a single shared agent),
+// one-for-each (tailored per service), and transferred (per service,
+// warm-started from a general agent).
+type AgentProvider interface {
+	AgentFor(service string) *rl.Agent
+	// Agents returns all distinct agents (for snapshotting/training stats).
+	Agents() []*rl.Agent
+}
+
+// SharedAgent is the one-for-all provider.
+type SharedAgent struct{ A *rl.Agent }
+
+// AgentFor implements AgentProvider.
+func (s SharedAgent) AgentFor(string) *rl.Agent { return s.A }
+
+// Agents implements AgentProvider.
+func (s SharedAgent) Agents() []*rl.Agent { return []*rl.Agent{s.A} }
+
+// PerServiceAgents is the one-for-each provider; when Base is non-nil each
+// new agent warm-starts from it (transfer learning, §3.4). Init, when set,
+// runs once on each freshly created agent (e.g. behaviour-cloning
+// pretraining) before any transfer.
+type PerServiceAgents struct {
+	Cfg  rl.Config
+	Base *rl.Agent
+	Init func(*rl.Agent)
+	m    map[string]*rl.Agent
+}
+
+// AgentFor implements AgentProvider, creating agents lazily.
+func (p *PerServiceAgents) AgentFor(service string) *rl.Agent {
+	if p.m == nil {
+		p.m = make(map[string]*rl.Agent)
+	}
+	if a, ok := p.m[service]; ok {
+		return a
+	}
+	cfg := p.Cfg
+	// Derive a per-service seed so tailored agents differ deterministically.
+	var h int64 = cfg.Seed
+	for _, c := range service {
+		h = h*131 + int64(c)
+	}
+	cfg.Seed = h
+	a := rl.New(cfg)
+	if p.Init != nil {
+		p.Init(a)
+	}
+	if p.Base != nil {
+		if err := a.TransferFrom(p.Base); err != nil {
+			panic(err) // dims are fixed by construction
+		}
+	}
+	p.m[service] = a
+	return a
+}
+
+// Agents implements AgentProvider (deterministic order).
+func (p *PerServiceAgents) Agents() []*rl.Agent {
+	keys := make([]string, 0, len(p.m))
+	for k := range p.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*rl.Agent, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, p.m[k])
+	}
+	return out
+}
+
+// Config tunes the FIRM controller.
+type Config struct {
+	// Interval is the control-loop period (time step t of §3.4).
+	Interval sim.Time
+	// Window is how far back traces are considered per tick.
+	Window sim.Time
+	// Alpha weighs SLO compliance vs utilization in the reward.
+	Alpha float64
+	// Headroom scales the action-space ceiling relative to each service's
+	// reference (initial) limits.
+	Headroom float64
+	// TopK caps how many culprit instances are actuated per tick.
+	TopK int
+	// Training enables exploration noise, replay-buffer writes, and
+	// gradient updates.
+	Training bool
+	// GuidedEps is the probability, during training, of substituting the
+	// actor's exploration with a guided action that maxes the limits of
+	// resources the state reports as oversubscribed (util ≥ 1.2). Seeding
+	// the replay buffer with successful mitigations is the continuous-
+	// control analogue of demonstration data and substantially shortens
+	// the exploration phase the paper spends its first ~1000 episodes on.
+	GuidedEps float64
+	// IdleReclaim, when positive, gently decays limits of underutilized
+	// containers every IdleReclaim ticks during violation-free periods —
+	// FIRM's utilization objective is what drives the requested-CPU
+	// reduction of Fig. 10(b).
+	IdleReclaim int
+	// ReclaimFactor is the per-reclaim decay (e.g. 0.93).
+	ReclaimFactor float64
+}
+
+// DefaultConfig returns the controller configuration used in experiments.
+func DefaultConfig() Config {
+	return Config{
+		Interval:      sim.Second,
+		Window:        2 * sim.Second,
+		Alpha:         0.8,
+		Headroom:      4,
+		TopK:          3,
+		GuidedEps:     0.35,
+		IdleReclaim:   5,
+		ReclaimFactor: 0.93,
+	}
+}
+
+// pendingAction is a state-action pair awaiting its next-tick reward.
+type pendingAction struct {
+	service  string
+	instance string
+	state    []float64
+	action   []float64
+}
+
+// Controller is the FIRM control loop.
+type Controller struct {
+	cfg Config
+
+	eng   *sim.Engine
+	app   *app.App
+	db    *tracedb.Store
+	col   *telemetry.Collector
+	meter *telemetry.Meter
+	dep   *deploy.Module
+	ext   *detect.Extractor
+	prov  AgentProvider
+	sb    *agent.StateBuilder
+
+	ticker  *sim.Ticker
+	pending []pendingAction
+
+	violationSince sim.Time
+	inViolation    bool
+	// stickyCulprits remembers the instances localized at violation onset:
+	// once an anomaly saturates the window, per-instance variability
+	// features flatten (a uniformly slow victim has CI≈1), so the
+	// controller keeps reprovisioning the onset culprits until the
+	// violation clears, as the paper's mitigation loop does.
+	stickyCulprits []detect.Candidate
+
+	// Metrics.
+	Ticks          uint64
+	Actions        uint64
+	Mitigations    []float64 // mitigation times, seconds
+	EpisodeReward  float64
+	RewardObserved uint64
+}
+
+// New wires a FIRM controller.
+func New(cfg Config, a *app.App, db *tracedb.Store, col *telemetry.Collector,
+	meter *telemetry.Meter, dep *deploy.Module, ext *detect.Extractor,
+	prov AgentProvider) *Controller {
+	if cfg.Interval <= 0 {
+		cfg.Interval = sim.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 2 * cfg.Interval
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 3
+	}
+	if cfg.Headroom < 1 {
+		cfg.Headroom = 4
+	}
+	c := &Controller{
+		cfg: cfg, eng: a.Engine(), app: a, db: db, col: col, meter: meter,
+		dep: dep, ext: ext, prov: prov,
+		sb: &agent.StateBuilder{Col: col, Meter: meter, SLO: a.SLO},
+	}
+	c.ticker = sim.NewTicker(c.eng, cfg.Interval, c.tick)
+	return c
+}
+
+// Start begins the control loop.
+func (c *Controller) Start() { c.ticker.Start() }
+
+// Stop halts the control loop.
+func (c *Controller) Stop() { c.ticker.Stop() }
+
+// Extractor returns the detection model (for online SVM training).
+func (c *Controller) Extractor() *detect.Extractor { return c.ext }
+
+// ResetEpisode clears per-episode accumulators and flushes pending
+// transitions as terminal (used between RL training episodes).
+func (c *Controller) ResetEpisode() {
+	c.flushPending(true)
+	c.EpisodeReward = 0
+	c.RewardObserved = 0
+	c.inViolation = false
+	c.stickyCulprits = c.stickyCulprits[:0]
+	for _, ag := range c.prov.Agents() {
+		ag.ResetNoise()
+	}
+}
+
+// windowP99 returns the current window's effective P99 end-to-end latency.
+// Dropped requests are infinitely slow requests: any drop in the window
+// pushes the effective P99 to at least 10× the SLO so the SV signal cannot
+// be gamed by shedding load (starving a container until every request drops
+// would otherwise read as "no latency, no violation").
+func (c *Controller) windowP99() sim.Time {
+	traces := c.db.Select(tracedb.Query{Since: c.eng.Now() - c.cfg.Window, IncludeDrop: true})
+	var lats []float64
+	drops := 0
+	for _, t := range traces {
+		if t.Dropped {
+			drops++
+		} else {
+			lats = append(lats, t.Latency().Millis())
+		}
+	}
+	var p99 sim.Time
+	if len(lats) > 0 {
+		p99 = sim.FromMillis(stats.Percentile(lats, 99))
+	}
+	if drops > 0 {
+		if floor := 10 * c.app.SLO; p99 < floor {
+			p99 = floor
+		}
+	}
+	return p99
+}
+
+// flushPending converts outstanding state-action pairs into transitions
+// using the current measurements.
+func (c *Controller) flushPending(done bool) {
+	if len(c.pending) == 0 {
+		return
+	}
+	p99 := c.windowP99()
+	for _, p := range c.pending {
+		ag := c.prov.AgentFor(p.service)
+		culprit := p99 > c.app.SLO
+		sv := c.sb.SV(p99, culprit)
+		var util cluster.Vector
+		if s, ok := c.col.Latest(p.instance); ok {
+			util = s.Util
+		}
+		r := agent.Reward(sv, util, c.cfg.Alpha)
+		c.RewardObserved++
+		s2 := c.sb.State(p.instance, p99, culprit)
+		ag.Observe(rl.Transition{S: p.state, A: p.action, R: r, S2: s2, Done: done})
+		if c.cfg.Training {
+			ag.TrainStep()
+		}
+	}
+	c.pending = c.pending[:0]
+}
+
+func (c *Controller) tick() {
+	c.Ticks++
+	now := c.eng.Now()
+	window := c.db.Select(tracedb.Query{Since: now - c.cfg.Window, IncludeDrop: true})
+	violated := detect.Violated(window, c.app.SLO)
+
+	// Episode-reward bookkeeping: a per-tick global objective signal
+	// (SLO compliance + cluster utilization), accumulated every tick so
+	// learning curves (Fig. 11a) measure policy quality independent of how
+	// many mitigation actions fired.
+	globalSV := c.sb.SV(c.windowP99(), violated)
+	var utilSum cluster.Vector
+	nc := 0
+	for _, rs := range c.app.Cluster().ReplicaSets() {
+		for _, ct := range rs.Containers() {
+			if ct.Ready() {
+				utilSum = utilSum.Add(ct.Utilization())
+				nc++
+			}
+		}
+	}
+	if nc > 0 {
+		utilSum = utilSum.Scale(1 / float64(nc))
+	}
+	c.EpisodeReward += agent.Reward(globalSV, utilSum, c.cfg.Alpha)
+
+	// Close the loop on last tick's actions first (reward observation).
+	c.flushPending(false)
+
+	// Mitigation-time bookkeeping (Fig. 11b's metric).
+	switch {
+	case violated && !c.inViolation:
+		c.inViolation = true
+		c.violationSince = now
+	case !violated && c.inViolation:
+		c.inViolation = false
+		c.Mitigations = append(c.Mitigations, (now - c.violationSince).Seconds())
+		c.stickyCulprits = c.stickyCulprits[:0]
+	}
+
+	if !violated {
+		c.maybeReclaim()
+		return
+	}
+
+	// Localize culprits (Alg. 2) and actuate RL decisions on the top-K.
+	cands := c.ext.Candidates(window)
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	anyCritical := false
+	for _, cand := range cands {
+		if cand.Critical {
+			anyCritical = true
+			break
+		}
+	}
+	if anyCritical {
+		c.stickyCulprits = c.stickyCulprits[:0]
+		for _, cand := range cands {
+			if cand.Critical {
+				c.stickyCulprits = append(c.stickyCulprits, cand)
+			}
+		}
+	} else {
+		// Mid-anomaly the window has no baseline contrast; keep working on
+		// the culprits identified at onset.
+		cands = c.stickyCulprits
+		for i := range cands {
+			cands[i].Critical = true
+		}
+	}
+	p99 := c.windowP99()
+	acted := 0
+	for _, cand := range cands {
+		if acted >= c.cfg.TopK {
+			break
+		}
+		if !cand.Critical {
+			continue
+		}
+		ct := c.app.Cluster().FindContainer(cand.Instance)
+		if ct == nil || !ct.Ready() {
+			continue
+		}
+		svc := c.app.Spec.Services[cand.Service]
+		if svc == nil {
+			continue
+		}
+		ag := c.prov.AgentFor(cand.Service)
+		st := c.sb.State(cand.Instance, p99, true)
+		var act []float64
+		switch {
+		case c.cfg.Training && c.eng.Rand().Float64() < c.cfg.GuidedEps:
+			act = guidedAction(st)
+		case c.cfg.Training:
+			act = ag.ActExplore(st)
+		default:
+			act = ag.Act(st)
+		}
+		space := agent.SpaceFor(ct, svc.Limits, c.app.Cluster().Config().MinLimit, c.cfg.Headroom)
+		limits := space.Decode(act)
+		c.dep.ApplyLimits(ct, limits, nil)
+		c.Actions++
+		acted++
+		c.pending = append(c.pending, pendingAction{
+			service: cand.Service, instance: cand.Instance, state: st, action: act,
+		})
+	}
+}
+
+// guidedAction derives a mitigation action directly from the state's
+// utilization features: max out every resource reported oversubscribed,
+// hold the rest at the reference configuration.
+func guidedAction(st []float64) []float64 {
+	act := make([]float64, agent.ActionDim)
+	for r := 0; r < agent.ActionDim; r++ {
+		if st[3+r] >= 1.2 {
+			act[r] = 1
+		}
+	}
+	return act
+}
+
+// maybeReclaim decays limits of strongly underutilized containers during
+// calm periods, bounded below by the cluster's minimum limits.
+func (c *Controller) maybeReclaim() {
+	if c.cfg.IdleReclaim <= 0 || c.Ticks%uint64(c.cfg.IdleReclaim) != 0 {
+		return
+	}
+	f := c.cfg.ReclaimFactor
+	if f <= 0 || f >= 1 {
+		f = 0.93
+	}
+	for _, rs := range c.app.Cluster().ReplicaSets() {
+		for _, ct := range rs.Containers() {
+			if !ct.Ready() {
+				continue
+			}
+			util := ct.Utilization()
+			max := util.MaxElem()
+			if max >= 0.5 {
+				continue
+			}
+			c.dep.ApplyLimits(ct, ct.Limits().Scale(f), nil)
+		}
+	}
+}
+
+// MeanMitigationTime returns the average observed mitigation time (s).
+func (c *Controller) MeanMitigationTime() float64 {
+	if len(c.Mitigations) == 0 {
+		return 0
+	}
+	return stats.Mean(c.Mitigations)
+}

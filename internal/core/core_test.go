@@ -1,0 +1,183 @@
+package core_test
+
+import (
+	"testing"
+
+	"firm/internal/cluster"
+	"firm/internal/core"
+	"firm/internal/harness"
+	"firm/internal/injector"
+	"firm/internal/rl"
+	"firm/internal/sim"
+	"firm/internal/topology"
+	"firm/internal/workload"
+)
+
+func bench(t *testing.T, seed int64) *harness.Bench {
+	t.Helper()
+	b, err := harness.New(harness.Options{
+		Seed:      seed,
+		Spec:      topology.HotelReservation(),
+		SLOMargin: 1.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSharedAgentProvider(t *testing.T) {
+	p := harness.SharedAgent(1)
+	a := p.AgentFor("x")
+	if p.AgentFor("y") != a {
+		t.Fatal("one-for-all must return the same agent")
+	}
+	if len(p.Agents()) != 1 {
+		t.Fatal("agents list")
+	}
+}
+
+func TestPerServiceAgentsDistinctAndTransferred(t *testing.T) {
+	base := rl.New(rl.DefaultConfig())
+	p := harness.PerServiceAgents(2, base)
+	ax := p.AgentFor("svc-x")
+	ay := p.AgentFor("svc-y")
+	if ax == ay {
+		t.Fatal("one-for-each must return distinct agents")
+	}
+	if p.AgentFor("svc-x") != ax {
+		t.Fatal("agents must be cached")
+	}
+	s := make([]float64, 8)
+	bx := base.Act(s)
+	gx := ax.Act(s)
+	for i := range bx {
+		if bx[i] != gx[i] {
+			t.Fatal("transferred agent must start from base policy")
+		}
+	}
+	if len(p.Agents()) != 2 {
+		t.Fatal("agents list")
+	}
+}
+
+func TestControllerRunsQuietly(t *testing.T) {
+	b := bench(t, 3)
+	b.AttachWorkload(workload.Constant{RPS: 100})
+	cfg := core.DefaultConfig()
+	// Idle reclaim squeezes limits toward the knee by design; with an
+	// untrained agent doing the refill this oscillates, so disable it to
+	// observe the pure detection path on a calm cluster.
+	cfg.IdleReclaim = 0
+	ctl := b.AttachFIRM(cfg, harness.SharedAgent(3), nil)
+	b.Eng.RunFor(20 * sim.Second)
+	if ctl.Ticks == 0 {
+		t.Fatal("control loop never ticked")
+	}
+	// No anomalies and SLO calibrated with margin: expect no violations and
+	// hence no RL actions on culprits.
+	if b.App.Violations > b.App.Completed/20 {
+		t.Fatalf("too many violations on a quiet cluster: %d/%d",
+			b.App.Violations, b.App.Completed)
+	}
+}
+
+func TestControllerActsOnInjectedAnomaly(t *testing.T) {
+	b := bench(t, 4)
+	b.AttachWorkload(workload.Constant{RPS: 150})
+	cfg := core.DefaultConfig()
+	cfg.Training = true
+	ctl := b.AttachFIRM(cfg, harness.SharedAgent(4), nil)
+	b.Eng.RunFor(5 * sim.Second)
+
+	// Inject a heavy memory-bandwidth anomaly on a critical-path service.
+	victim := b.Cluster.ReplicaSet("search").Containers()[0]
+	b.Injector.Inject(injector.Injection{
+		Kind: injector.MemBWStress, Target: victim, Intensity: 1,
+		Duration: 20 * sim.Second,
+	})
+	b.Eng.RunFor(40 * sim.Second)
+
+	if ctl.Actions == 0 {
+		t.Fatal("FIRM took no actions against an injected anomaly")
+	}
+	if ctl.RewardObserved == 0 {
+		t.Fatal("no rewards observed (pending actions never resolved)")
+	}
+	// After the anomaly expires the violation must clear → mitigation time
+	// bookkeeping records at least one entry.
+	if len(ctl.Mitigations) == 0 {
+		t.Fatal("no mitigation recorded after anomaly expiry")
+	}
+	if ctl.MeanMitigationTime() <= 0 {
+		t.Fatal("mitigation time must be positive")
+	}
+}
+
+func TestControllerChangesVictimLimits(t *testing.T) {
+	b := bench(t, 5)
+	b.AttachWorkload(workload.Constant{RPS: 150})
+	cfg := core.DefaultConfig()
+	cfg.Training = true
+	cfg.IdleReclaim = 0 // isolate RL actions
+	b.AttachFIRM(cfg, harness.SharedAgent(5), nil)
+	b.Eng.RunFor(5 * sim.Second)
+
+	victim := b.Cluster.ReplicaSet("profile-mongodb").Containers()[0]
+	before := victim.Limits()
+	b.Injector.Inject(injector.Injection{
+		Kind: injector.IOStress, Target: victim, Intensity: 1,
+		Duration: 25 * sim.Second,
+	})
+	b.Eng.RunFor(35 * sim.Second)
+	after := victim.Limits()
+	if before == after && b.Deploy.ScaleUps == 0 && b.Deploy.ScaleOuts == 0 {
+		t.Fatalf("no actuation on the victim: %v -> %v", before, after)
+	}
+}
+
+func TestIdleReclaimReducesRequestedCPU(t *testing.T) {
+	b := bench(t, 6)
+	b.AttachWorkload(workload.Constant{RPS: 20}) // very light load
+	cfg := core.DefaultConfig()
+	cfg.IdleReclaim = 2
+	b.AttachFIRM(cfg, harness.SharedAgent(6), nil)
+	before := b.Cluster.TotalRequestedCPU()
+	b.Eng.RunFor(60 * sim.Second)
+	after := b.Cluster.TotalRequestedCPU()
+	if after >= before {
+		t.Fatalf("idle reclaim did not reduce requested CPU: %v -> %v", before, after)
+	}
+	// Floors respected.
+	floor := b.Cluster.Config().MinLimit[cluster.CPU]
+	for _, c := range b.Containers() {
+		if c.Limits()[cluster.CPU] < floor-1e-9 {
+			t.Fatalf("limit below floor: %v", c.Limits())
+		}
+	}
+}
+
+func TestResetEpisode(t *testing.T) {
+	b := bench(t, 7)
+	b.AttachWorkload(workload.Constant{RPS: 150})
+	cfg := core.DefaultConfig()
+	cfg.Training = true
+	ctl := b.AttachFIRM(cfg, harness.SharedAgent(7), nil)
+	victim := b.Cluster.ReplicaSet("search").Containers()[0]
+	b.Injector.Inject(injector.Injection{
+		Kind: injector.CPUStress, Target: victim, Intensity: 1, Duration: 10 * sim.Second,
+	})
+	b.Eng.RunFor(15 * sim.Second)
+	ctl.ResetEpisode()
+	if ctl.EpisodeReward != 0 || ctl.RewardObserved != 0 {
+		t.Fatal("reset did not clear episode accumulators")
+	}
+}
+
+func TestMitigationTimeEmptyMeanIsZero(t *testing.T) {
+	b := bench(t, 8)
+	ctl := b.AttachFIRM(core.DefaultConfig(), harness.SharedAgent(8), nil)
+	if ctl.MeanMitigationTime() != 0 {
+		t.Fatal("no mitigations → mean 0")
+	}
+}

@@ -1,0 +1,193 @@
+// Package cpath implements FIRM's Critical Path Extractor (§3.2, Alg. 1):
+// the weighted longest-path computation over a request's execution history
+// graph, honoring the three microservice workflow patterns — sequential,
+// parallel, and background.
+//
+// The critical path (Def. 2.3) is the path of maximal duration from the
+// client request to the service response. Background spans never join the
+// CP (they do not return values to their parents), though the critical
+// component extractor may still consider them as culprits.
+package cpath
+
+import (
+	"sort"
+	"strings"
+
+	"firm/internal/sim"
+	"firm/internal/trace"
+)
+
+// Path is an extracted critical path.
+type Path struct {
+	// Spans lists the CP spans in execution order starting at the root.
+	Spans []trace.Span
+	// Latency is the end-to-end duration bounded by the CP (root span).
+	Latency sim.Time
+}
+
+// Services returns the CP's service names in order.
+func (p Path) Services() []string {
+	out := make([]string, len(p.Spans))
+	for i, s := range p.Spans {
+		out[i] = s.Service
+	}
+	return out
+}
+
+// Signature returns a canonical string identifying the CP's service
+// sequence, used to detect CP changes (Insight 1) and to group traces by CP.
+func (p Path) Signature() string { return strings.Join(p.Services(), "→") }
+
+// Contains reports whether the service appears on the CP.
+func (p Path) Contains(service string) bool {
+	for _, s := range p.Spans {
+		if s.Service == service {
+			return true
+		}
+	}
+	return false
+}
+
+// ServiceLatency returns the total span duration attributed to the service
+// along the CP (a service may appear in multiple CP spans).
+func (p Path) ServiceLatency(service string) sim.Time {
+	var d sim.Time
+	for _, s := range p.Spans {
+		if s.Service == service {
+			d += s.Duration()
+		}
+	}
+	return d
+}
+
+// Extract computes the critical path of a trace per Alg. 1. For each span,
+// the last-returned (non-background) child is on the CP; any child that
+// happens-before that child (ends at or before its start) chains onto the
+// CP as its sequential predecessor; children overlapping the last-returned
+// child are parallel and strictly shorter, so they are excluded.
+func Extract(t *trace.Trace) Path {
+	root := t.Root()
+	if root.ID == 0 && root.End == 0 {
+		return Path{}
+	}
+	var spans []trace.Span
+	var visit func(s trace.Span)
+	visit = func(s trace.Span) {
+		spans = append(spans, s)
+		kids := nonBackground(t.Children(s.ID))
+		if len(kids) == 0 {
+			return
+		}
+		// lastReturnedChild: maximal End (ties broken by later start, then
+		// id, for determinism).
+		lrc := kids[0]
+		for _, k := range kids[1:] {
+			if k.End > lrc.End || (k.End == lrc.End && k.Start > lrc.Start) ||
+				(k.End == lrc.End && k.Start == lrc.Start && k.ID > lrc.ID) {
+				lrc = k
+			}
+		}
+		// Chain happens-before predecessors: repeatedly take the latest-
+		// ending child that completes before the head of the chain starts.
+		chain := []trace.Span{lrc}
+		head := lrc
+		for {
+			var best trace.Span
+			found := false
+			for _, k := range kids {
+				if k.ID == head.ID || !happensBefore(k, head) {
+					continue
+				}
+				if !found || k.End > best.End ||
+					(k.End == best.End && k.ID > best.ID) {
+					best, found = k, true
+				}
+			}
+			if !found {
+				break
+			}
+			chain = append([]trace.Span{best}, chain...)
+			head = best
+		}
+		for _, c := range chain {
+			visit(c)
+		}
+	}
+	visit(root)
+	return Path{Spans: spans, Latency: root.Duration()}
+}
+
+// happensBefore reports the paper's sequential-workflow condition: i
+// completes and returns before j starts (§3.2: t(r,i→p) ≤ t(s,p→j)).
+func happensBefore(i, j trace.Span) bool { return i.End <= j.Start }
+
+func nonBackground(spans []trace.Span) []trace.Span {
+	out := spans[:0:0]
+	for _, s := range spans {
+		if !s.Background {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Group clusters traces by CP signature. It returns, per signature, the
+// end-to-end latencies (ms) of the traces whose CP matched it. Fig. 3 plots
+// the min- and max-latency groups.
+func Group(traces []*trace.Trace) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, t := range traces {
+		if t.Dropped {
+			continue
+		}
+		p := Extract(t)
+		if len(p.Spans) == 0 {
+			continue
+		}
+		out[p.Signature()] = append(out[p.Signature()], t.Latency().Millis())
+	}
+	return out
+}
+
+// MinMaxCP returns the signatures and latency samples of the CP groups with
+// the minimum and maximum median latency, considering only groups with at
+// least minSamples traces. ok is false when fewer than two groups qualify.
+func MinMaxCP(traces []*trace.Trace, minSamples int) (minSig string, minLat []float64, maxSig string, maxLat []float64, ok bool) {
+	groups := Group(traces)
+	type entry struct {
+		sig string
+		med float64
+		lat []float64
+	}
+	var entries []entry
+	for sig, lats := range groups {
+		if len(lats) < minSamples {
+			continue
+		}
+		entries = append(entries, entry{sig, median(lats), lats})
+	}
+	if len(entries) < 2 {
+		return "", nil, "", nil, false
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].med != entries[j].med {
+			return entries[i].med < entries[j].med
+		}
+		return entries[i].sig < entries[j].sig
+	})
+	lo, hi := entries[0], entries[len(entries)-1]
+	return lo.sig, lo.lat, hi.sig, hi.lat, true
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

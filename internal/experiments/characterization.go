@@ -1,0 +1,564 @@
+package experiments
+
+import (
+	"fmt"
+
+	"firm/internal/app"
+	"firm/internal/cluster"
+	"firm/internal/core"
+	"firm/internal/cpath"
+	"firm/internal/harness"
+	"firm/internal/injector"
+	"firm/internal/sim"
+	"firm/internal/stats"
+	"firm/internal/topology"
+	"firm/internal/trace"
+	"firm/internal/tracedb"
+	"firm/internal/workload"
+)
+
+// Fig1Result reproduces the motivating experiment: tail-latency spikes under
+// memory-bandwidth contention, with and without FIRM, alongside the CPU
+// utilization (which stays flat — the reason the K8s autoscaler misses the
+// spike) and the per-core DRAM access counter (which surfaces it).
+type Fig1Result struct {
+	TimesSec []float64
+	// Per-second series, one pair per policy arm.
+	P99NoFIRM, P99FIRM       []float64
+	CPUUtilPct               []float64 // without FIRM (flat through the spike)
+	PerCoreDRAM              []float64 // without FIRM (spikes with the anomaly)
+	AnomalyStart, AnomalyEnd float64
+	// PeakP99 ratios quantify the mitigation.
+	PeakNoFIRM, PeakFIRM float64
+}
+
+// Fig1 runs Social Network under constant load with a mem-BW anomaly
+// injected mid-run, once unmanaged and once under a trained FIRM agent.
+func Fig1(sc Scale, seed int64) (*Fig1Result, error) {
+	trained, err := Train(TrainOpts{Seed: seed, Spec: topology.TrainTicket(),
+		Episodes: sc.EpisodeCount / 2, Variant: OneForAll})
+	if err != nil {
+		return nil, err
+	}
+	base := trained.Provider.Agents()[0]
+
+	dur := sc.dur(300 * sim.Second)
+	anomalyStart := dur / 5
+	anomalyDur := 2 * dur / 5
+
+	run := func(seed int64, withFIRM bool) (p99s, cpu, dram []float64, err error) {
+		b, err := harness.New(harness.Options{
+			Seed: seed, Spec: topology.SocialNetwork(), SLOMargin: 1.6,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		b.AttachWorkload(workload.Constant{RPS: 250})
+		if withFIRM {
+			cfg := core.DefaultConfig()
+			b.AttachFIRM(cfg, core.SharedAgent{A: cloneAgent(base, seed)}, nil)
+		}
+		victim := b.Cluster.ReplicaSet("post-storage-mongodb").Containers()[0]
+		b.Eng.Schedule(anomalyStart, func() {
+			b.Injector.Inject(injector.Injection{
+				Kind: injector.MemBWStress, Target: victim,
+				Intensity: 1, Duration: anomalyDur,
+			})
+			b.Injector.Inject(injector.Injection{
+				Kind: injector.IOStress, Target: victim,
+				Intensity: 0.8, Duration: anomalyDur,
+			})
+		})
+		node := victim.Node()
+		tick := sim.NewTicker(b.Eng, sim.Second, func() {
+			lats := b.DB.Latencies(tracedb.Query{Since: b.Eng.Now() - 2*sim.Second})
+			if len(lats) > 0 {
+				p99s = append(p99s, stats.Percentile(lats, 99))
+			} else {
+				p99s = append(p99s, 0)
+			}
+			cpu = append(cpu, 100*node.Utilization()[cluster.CPU])
+			dram = append(dram, node.PerCoreDRAMAccess())
+		})
+		tick.Start()
+		b.Eng.RunFor(dur)
+		return p99s, cpu, dram, nil
+	}
+
+	noP99, cpu, dram, err := run(seed+1, false)
+	if err != nil {
+		return nil, err
+	}
+	yesP99, _, _, err := run(seed+1, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{
+		P99NoFIRM: noP99, P99FIRM: yesP99, CPUUtilPct: cpu, PerCoreDRAM: dram,
+		AnomalyStart: anomalyStart.Seconds(),
+		AnomalyEnd:   (anomalyStart + anomalyDur).Seconds(),
+	}
+	for i := range noP99 {
+		res.TimesSec = append(res.TimesSec, float64(i+1))
+	}
+	lo, hi := int(res.AnomalyStart), int(res.AnomalyEnd)
+	res.PeakNoFIRM = maxIn(noP99, lo, hi)
+	res.PeakFIRM = maxIn(yesP99, lo, hi)
+	return res, nil
+}
+
+func maxIn(xs []float64, lo, hi int) float64 {
+	var m float64
+	for i := lo; i < hi && i < len(xs); i++ {
+		if xs[i] > m {
+			m = xs[i]
+		}
+	}
+	return m
+}
+
+// String renders the Fig. 1 report.
+func (r *Fig1Result) String() string {
+	s := fmt.Sprintf("Fig 1: mem-BW contention on Social Network (anomaly %.0f-%.0fs)\n",
+		r.AnomalyStart, r.AnomalyEnd)
+	s += fmt.Sprintf("  peak p99 during anomaly: without FIRM %.1fms, with FIRM %.1fms (%.1fx better)\n",
+		r.PeakNoFIRM, r.PeakFIRM, ratio(r.PeakNoFIRM, r.PeakFIRM))
+	pre := int(r.AnomalyStart)
+	s += fmt.Sprintf("  CPU util before/during anomaly: %.1f%% / %.1f%% (flat: autoscaler blind)\n",
+		stats.Mean(r.CPUUtilPct[:pre]), stats.Mean(r.CPUUtilPct[pre:int(r.AnomalyEnd)]))
+	s += fmt.Sprintf("  per-core DRAM before/during: %.0f / %.0f (contention visible)\n",
+		stats.Mean(r.PerCoreDRAM[:pre]), stats.Mean(r.PerCoreDRAM[pre:int(r.AnomalyEnd)]))
+	return s
+}
+
+// Table1Result reproduces Table 1: individual and end-to-end latencies for
+// the compose-post request as the CP shifts under injections at V, U, T.
+type Table1Result struct {
+	// Rows indexed by injected service; values are mean latency (ms) per
+	// observed service plus the mean end-to-end total.
+	Services []string // column order: N V U I T C
+	Rows     map[string]map[string]float64
+	Totals   map[string]float64
+	// CPSignatures maps injected service → dominant critical path.
+	CPSignatures map[string]string
+}
+
+var table1Cols = map[string]string{
+	"nginx": "N", "video": "V", "user-tag": "U", "unique-id": "I",
+	"text": "T", "compose-post": "C",
+}
+
+// Table1 injects a CPU anomaly at video (V), user-tag (U) and text (T) in
+// turn and measures per-service and total latency of compose-post requests.
+func Table1(sc Scale, seed int64) (*Table1Result, error) {
+	res := &Table1Result{
+		Services:     []string{"N", "V", "U", "I", "T", "C"},
+		Rows:         map[string]map[string]float64{},
+		Totals:       map[string]float64{},
+		CPSignatures: map[string]string{},
+	}
+	dur := sc.dur(40 * sim.Second)
+	for _, victim := range []string{"video", "user-tag", "text"} {
+		b, err := harness.New(harness.Options{
+			Seed: seed, Spec: topology.SocialNetwork(), SLOMargin: 1.6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// compose-post only, so every trace matches Fig. 2(b); Since/Type
+		// filters exclude the SLO-calibration traffic.
+		t0 := b.Eng.Now()
+		gen := newEndpointDriver(b, "compose-post", 30)
+		gen.start()
+		ct := b.Cluster.ReplicaSet(victim).Containers()[0]
+		b.Injector.Inject(injector.Injection{
+			Kind: injector.CPUStress, Target: ct, Intensity: 0.55, Duration: dur,
+		})
+		b.Eng.RunFor(dur)
+
+		perSvc := map[string][]float64{}
+		var totals []float64
+		sigCount := map[string]int{}
+		for _, tr := range b.DB.Select(tracedb.Query{Type: "compose-post", Since: t0}) {
+			totals = append(totals, tr.Latency().Millis())
+			for _, sp := range tr.Spans {
+				if col, ok := table1Cols[sp.Service]; ok {
+					perSvc[col] = append(perSvc[col], tr.SelfDuration(sp).Millis())
+				}
+			}
+			p := cpath.Extract(tr)
+			sigCount[p.Signature()]++
+		}
+		row := map[string]float64{}
+		for col, lats := range perSvc {
+			row[col] = stats.Mean(lats)
+		}
+		res.Rows[victim] = row
+		res.Totals[victim] = stats.Mean(totals)
+		best, bestN := "", 0
+		for sig, n := range sigCount {
+			if n > bestN {
+				best, bestN = sig, n
+			}
+		}
+		res.CPSignatures[victim] = best
+	}
+	return res, nil
+}
+
+// String renders Table 1.
+func (r *Table1Result) String() string {
+	t := &Table{
+		Title:  "Table 1: CP changes under anomaly injection (mean latency, ms)",
+		Header: append(append([]string{"injected"}, r.Services...), "total"),
+	}
+	for _, victim := range []string{"video", "user-tag", "text"} {
+		row := []string{victim}
+		for _, col := range r.Services {
+			row = append(row, f1(r.Rows[victim][col]))
+		}
+		row = append(row, f1(r.Totals[victim]))
+		t.Add(row...)
+	}
+	s := t.String()
+	for _, victim := range []string{"video", "user-tag", "text"} {
+		s += fmt.Sprintf("  CP under %s injection: %s\n", victim, r.CPSignatures[victim])
+	}
+	return s
+}
+
+// endpointDriver issues a single endpoint type at a constant rate (some
+// characterization experiments need a pure request stream).
+type endpointDriver struct {
+	b        *harness.Bench
+	endpoint string
+	rps      float64
+}
+
+func newEndpointDriver(b *harness.Bench, endpoint string, rps float64) *endpointDriver {
+	return &endpointDriver{b: b, endpoint: endpoint, rps: rps}
+}
+
+func (d *endpointDriver) start() {
+	r := sim.Stream(d.b.Opts.Seed, "endpoint-driver")
+	var next func()
+	next = func() {
+		gap := sim.Exponential(r, sim.FromSeconds(1/d.rps))
+		if gap < 1 {
+			gap = 1
+		}
+		d.b.Eng.Schedule(gap, func() {
+			_ = d.b.App.Submit(d.endpoint, nil)
+			next()
+		})
+	}
+	next()
+}
+
+// Fig3Result reproduces the min/max-CP latency distributions for each of
+// the four benchmarks (paper: up to 1.6× median and 2.5× P99 gaps).
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3Row is one benchmark's min/max CP comparison.
+type Fig3Row struct {
+	Benchmark      string
+	MinCP, MaxCP   string
+	MinMedian      float64
+	MaxMedian      float64
+	MinP99, MaxP99 float64
+	MedianRatio    float64
+	P99Ratio       float64
+	Groups         int
+}
+
+// Fig3 drives each benchmark with its request mix under the randomized
+// anomaly campaign and groups traces by critical-path signature.
+func Fig3(sc Scale, seed int64) (*Fig3Result, error) {
+	res := &Fig3Result{}
+	dur := sc.dur(60 * sim.Second)
+	for i, spec := range topology.All() {
+		b, err := harness.New(harness.Options{
+			Seed: seed + int64(i), Spec: spec, SLOMargin: 1.6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t0 := b.Eng.Now()
+		b.AttachWorkload(workload.Constant{RPS: 150})
+		camp := injector.DefaultCampaign(b.Injector, b.Containers())
+		camp.Start()
+		b.Eng.RunFor(dur)
+		camp.Stop()
+
+		// CP signatures are only comparable within one request type; scan
+		// the endpoint mix for the type with the richest CP diversity
+		// (anomalies land uniformly, so which type shifts varies by run).
+		var traces []*trace.Trace
+		var minSig, maxSig string
+		var minLat, maxLat []float64
+		ok := false
+		for _, minSamples := range []int{20, 5} {
+			for _, ep := range spec.Endpoints {
+				cand := b.DB.Select(tracedb.Query{Type: ep.Name, Since: t0})
+				if ms, ml, xs, xl, got := cpath.MinMaxCP(cand, minSamples); got {
+					traces, minSig, minLat, maxSig, maxLat, ok = cand, ms, ml, xs, xl, true
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("fig3: %s: no CP diversity", spec.Name)
+		}
+		groups := cpath.Group(traces)
+		row := Fig3Row{
+			Benchmark: spec.Name,
+			MinCP:     minSig, MaxCP: maxSig,
+			MinMedian: stats.Median(minLat), MaxMedian: stats.Median(maxLat),
+			MinP99: stats.Percentile(minLat, 99), MaxP99: stats.Percentile(maxLat, 99),
+			Groups: len(groups),
+		}
+		row.MedianRatio = ratio(row.MaxMedian, row.MinMedian)
+		row.P99Ratio = ratio(row.MaxP99, row.MinP99)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the Fig. 3 report.
+func (r *Fig3Result) String() string {
+	t := &Table{
+		Title:  "Fig 3: min/max critical-path latency distributions",
+		Header: []string{"benchmark", "CP groups", "min-CP p50", "max-CP p50", "p50 ratio", "min-CP p99", "max-CP p99", "p99 ratio"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.Benchmark, fmt.Sprintf("%d", row.Groups),
+			f1(row.MinMedian), f1(row.MaxMedian), f2(row.MedianRatio),
+			f1(row.MinP99), f1(row.MaxP99), f2(row.P99Ratio))
+	}
+	return t.String()
+}
+
+// Fig4Result reproduces Insight 2: scaling the highest-variance service on
+// the CP (text) beats scaling the highest-median one (composePost).
+type Fig4Result struct {
+	// Span latency statistics on the baseline run.
+	TextMedian, TextStd       float64
+	ComposeMedian, ComposeStd float64
+	// End-to-end p99 for the three arms.
+	BeforeP99, ScaleTextP99, ScaleComposeP99 float64
+}
+
+// Fig4 measures compose-post latency before scaling, after scaling text
+// (high variance), and after scaling composePost (high median).
+func Fig4(sc Scale, seed int64) (*Fig4Result, error) {
+	dur := sc.dur(40 * sim.Second)
+	run := func(scale string) (*harness.Bench, sim.Time, error) {
+		b, err := harness.New(harness.Options{
+			Seed: seed, Spec: topology.SocialNetwork(), SLOMargin: 1.6,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		t0 := b.Eng.Now()
+		if scale != "" {
+			rs := b.Cluster.ReplicaSet(scale)
+			lim := rs.Containers()[0].Limits()
+			if _, err := rs.AddReplica(lim, false, true); err != nil {
+				return nil, 0, err
+			}
+		}
+		// Bursty CPU pressure on text creates the variance asymmetry the
+		// paper observes: text keeps a lower median than composePost but a
+		// far higher variance (its contention arrives in episodes, while
+		// composePost never contends).
+		victim := b.Cluster.ReplicaSet("text").Containers()[0]
+		for at := 2 * sim.Second; at < dur; at += 5 * sim.Second {
+			at := at
+			b.Eng.Schedule(at, func() {
+				b.Injector.Inject(injector.Injection{
+					Kind: injector.CPUStress, Target: victim, Intensity: 0.5,
+					Duration: 1500 * sim.Millisecond,
+				})
+			})
+		}
+		gen := newEndpointDriver(b, "compose-post", 100)
+		gen.start()
+		b.Eng.RunFor(dur)
+		return b, t0, nil
+	}
+
+	q := func(t0 sim.Time) tracedb.Query {
+		return tracedb.Query{Type: "compose-post", Since: t0}
+	}
+	before, t0, err := run("")
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{}
+	perSvc := before.DB.ServiceLatencies(q(t0))
+	res.TextMedian = stats.Median(perSvc["text"])
+	res.TextStd = stats.StdDev(perSvc["text"])
+	res.ComposeMedian = stats.Median(perSvc["compose-post"])
+	res.ComposeStd = stats.StdDev(perSvc["compose-post"])
+	res.BeforeP99 = stats.Percentile(before.DB.Latencies(q(t0)), 99)
+
+	textArm, t1, err := run("text")
+	if err != nil {
+		return nil, err
+	}
+	res.ScaleTextP99 = stats.Percentile(textArm.DB.Latencies(q(t1)), 99)
+
+	composeArm, t2, err := run("compose-post")
+	if err != nil {
+		return nil, err
+	}
+	res.ScaleComposeP99 = stats.Percentile(composeArm.DB.Latencies(q(t2)), 99)
+	return res, nil
+}
+
+// String renders the Fig. 4 report.
+func (r *Fig4Result) String() string {
+	s := "Fig 4: scaling highest-variance vs highest-median service (compose-post)\n"
+	s += fmt.Sprintf("  span stats: text p50=%.1fms sd=%.1f | compose-post p50=%.1fms sd=%.1f\n",
+		r.TextMedian, r.TextStd, r.ComposeMedian, r.ComposeStd)
+	s += fmt.Sprintf("  e2e p99: before=%.1fms scale-text=%.1fms scale-compose=%.1fms\n",
+		r.BeforeP99, r.ScaleTextP99, r.ScaleComposeP99)
+	s += fmt.Sprintf("  gain from text (variance) %.1f%%, from compose (median) %.1f%%\n",
+		100*(1-r.ScaleTextP99/r.BeforeP99), 100*(1-r.ScaleComposeP99/r.BeforeP99))
+	return s
+}
+
+// Fig5Result reproduces the scale-up vs scale-out trade-off across load for
+// CPU-bound and memory-bound bottlenecks on two applications.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5Row is one (app, resource, load) measurement.
+type Fig5Row struct {
+	Benchmark string
+	Resource  string // "cpu" or "memory"
+	LoadRPS   float64
+	// Median e2e latency (ms) with bootstrap 95% CI for each strategy.
+	UpMedian, UpLo, UpHi    float64
+	OutMedian, OutLo, OutHi float64
+	Winner                  string
+}
+
+// fig5Bottleneck selects the stressed service per app and resource class.
+var fig5Bottleneck = map[string]map[string]string{
+	"social-network": {"cpu": "compose-post", "memory": "post-storage-memcached"},
+	"train-ticket":   {"cpu": "ts-order", "memory": "ts-order-mongodb"},
+}
+
+// Fig5 sweeps load and compares scale-up (double the bottleneck's limits)
+// with scale-out (add one replica) under a matching resource anomaly.
+func Fig5(sc Scale, seed int64) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	loads := []float64{250, 750, 1250, 1750, 2250}
+	if sc.DurationMul < 1 {
+		loads = []float64{250, 1250, 2250}
+	}
+	dur := sc.dur(30 * sim.Second)
+	for _, benchName := range []string{"social-network", "train-ticket"} {
+		spec, err := topology.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		for _, resource := range []string{"cpu", "memory"} {
+			for _, load := range loads {
+				row := Fig5Row{Benchmark: benchName, Resource: resource, LoadRPS: load}
+				up, err := fig5Arm(spec.Name, resource, load, dur, seed, true)
+				if err != nil {
+					return nil, err
+				}
+				out, err := fig5Arm(spec.Name, resource, load, dur, seed, false)
+				if err != nil {
+					return nil, err
+				}
+				r := sim.Stream(seed, "fig5-ci")
+				row.UpMedian = stats.Median(up)
+				row.UpLo, row.UpHi, _ = stats.BootstrapCI(up, 0.95, 200, r)
+				row.OutMedian = stats.Median(out)
+				row.OutLo, row.OutHi, _ = stats.BootstrapCI(out, 0.95, 200, r)
+				if row.UpMedian <= row.OutMedian {
+					row.Winner = "scale-up"
+				} else {
+					row.Winner = "scale-out"
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+func fig5Arm(benchName, resource string, load float64, dur sim.Time, seed int64, scaleUp bool) ([]float64, error) {
+	spec, err := topology.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	b, err := harness.New(harness.Options{Seed: seed, Spec: spec, SLOMargin: 1.6})
+	if err != nil {
+		return nil, err
+	}
+	bottleneck := fig5Bottleneck[benchName][resource]
+	rs := b.Cluster.ReplicaSet(bottleneck)
+	ct := rs.Containers()[0]
+
+	// Create the matching resource pressure on the bottleneck.
+	kind := injector.CPUStress
+	if resource == "memory" {
+		kind = injector.MemBWStress
+	}
+	b.Injector.Inject(injector.Injection{Kind: kind, Target: ct, Intensity: 0.8, Duration: dur})
+
+	// Apply the mitigation strategy under test.
+	if scaleUp {
+		lim := ct.Limits()
+		if resource == "cpu" {
+			lim[cluster.CPU] *= 2
+		} else {
+			lim[cluster.MemBW] *= 2
+			lim[cluster.LLC] *= 2
+		}
+		ct.SetLimits(lim)
+	} else {
+		if _, err := rs.AddReplica(ct.Limits(), false, true); err != nil {
+			return nil, err
+		}
+	}
+
+	var lats []float64
+	b.App.SetResultHook(func(r app.Result) {
+		if !r.Dropped {
+			lats = append(lats, r.Latency.Millis())
+		}
+	})
+	b.AttachWorkload(workload.Constant{RPS: load})
+	b.Eng.RunFor(dur)
+	if len(lats) == 0 {
+		return nil, fmt.Errorf("fig5: no completed requests (%s %s %.0frps)", benchName, resource, load)
+	}
+	return lats, nil
+}
+
+// String renders the Fig. 5 report.
+func (r *Fig5Result) String() string {
+	t := &Table{
+		Title:  "Fig 5: scale-up vs scale-out (median e2e ms, 95% CI)",
+		Header: []string{"benchmark", "resource", "load (rps)", "scale-up", "scale-out", "winner"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.Benchmark, row.Resource, fmt.Sprintf("%.0f", row.LoadRPS),
+			fmt.Sprintf("%.1f [%.1f,%.1f]", row.UpMedian, row.UpLo, row.UpHi),
+			fmt.Sprintf("%.1f [%.1f,%.1f]", row.OutMedian, row.OutLo, row.OutHi),
+			row.Winner)
+	}
+	return t.String()
+}

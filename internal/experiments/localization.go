@@ -1,0 +1,422 @@
+package experiments
+
+import (
+	"fmt"
+
+	"firm/internal/cluster"
+	"firm/internal/detect"
+	"firm/internal/harness"
+	"firm/internal/injector"
+	"firm/internal/sim"
+	"firm/internal/stats"
+	"firm/internal/topology"
+	"firm/internal/tracedb"
+	"firm/internal/workload"
+)
+
+// labelledSample is one (features, ground-truth) observation from a
+// campaign window.
+type labelledSample struct {
+	feat    []float64
+	culprit bool
+}
+
+// collectLocalizationSamples runs an injection campaign restricted to the
+// given kinds and harvests per-window candidate features with ground-truth
+// labels (instance was under injection during the window).
+func collectLocalizationSamples(spec *topology.Spec, seed int64, kinds []injector.Kind,
+	dur sim.Time, nodes []cluster.HardwareProfile, train bool, ext *detect.Extractor) ([]labelledSample, error) {
+
+	b, err := harness.New(harness.Options{
+		Seed: seed, Spec: spec, SLOMargin: 1.6, Nodes: nodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ext == nil {
+		ext = b.NewExtractor()
+	}
+	b.AttachWorkload(workload.Constant{RPS: 150})
+	camp := injector.DefaultCampaign(b.Injector, b.Containers())
+	camp.Kinds = kinds
+	camp.MeanInterarrival = 2 * sim.Second
+	camp.Start()
+
+	var samples []labelledSample
+	window := 2 * sim.Second
+	tick := sim.NewTicker(b.Eng, window, func() {
+		now := b.Eng.Now()
+		traces := b.DB.Select(tracedb.Query{Since: now - window})
+		truth := b.Injector.ActiveDuringOverlap(now-window, now, window*4/10)
+		for _, c := range ext.Features(traces) {
+			_, culprit := truth[c.Instance]
+			samples = append(samples, labelledSample{
+				feat:    []float64{c.RI, c.CI / 5},
+				culprit: culprit,
+			})
+			if train {
+				if err := ext.Train(c, culprit); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	tick.Start()
+	b.Eng.RunFor(dur)
+	camp.Stop()
+	return samples, nil
+}
+
+// Fig9aResult is the per-anomaly-type ROC study (paper: avg AUC = 0.978,
+// near-100% TPR at FPR 0.12-0.15).
+type Fig9aResult struct {
+	// AUC per anomaly type name.
+	AUC map[string]float64
+	// Curves per type: threshold-swept (FPR, TPR) points.
+	Curves map[string][][2]float64
+	AvgAUC float64
+	// TPRAtFPR15 is the true-positive rate at false-positive rate ≤ 0.15.
+	TPRAtFPR15 map[string]float64
+}
+
+// collectAnomalyEvents reproduces §4.2's single-anomaly protocol: anomalies
+// are injected one at a time on a uniformly random victim with intensity
+// drawn from [start-point, end-point] (the start-point being the intensity
+// that triggers SLO violations — events that do not violate are discarded,
+// exactly as the paper's ramp begins where violations begin). The scoring
+// window includes a pre-injection baseline so per-instance variability
+// features are well-defined.
+func collectAnomalyEvents(spec *topology.Spec, seed int64, kind injector.Kind,
+	events int, ext *detect.Extractor) ([]labelledSample, error) {
+
+	b, err := harness.New(harness.Options{Seed: seed, Spec: spec, SLOMargin: 1.6})
+	if err != nil {
+		return nil, err
+	}
+	b.AttachWorkload(workload.Constant{RPS: 150})
+	targets := b.Containers()
+	r := sim.Stream(seed, "fig9a-events")
+	var samples []labelledSample
+	injDur := 6 * sim.Second
+	for ev := 0; ev < events; ev++ {
+		b.Eng.RunFor(3 * sim.Second) // calm period between events
+		t0 := b.Eng.Now()
+		tgt := targets[r.Intn(len(targets))]
+		intensity := 0.7 + 0.3*r.Float64()
+		b.Injector.Inject(injector.Injection{
+			Kind: kind, Target: tgt, Intensity: intensity, Duration: injDur,
+		})
+		b.Eng.RunFor(injDur + sim.Second)
+		window := b.DB.Select(tracedb.Query{Since: t0 - 2*sim.Second, IncludeDrop: true})
+		if !detect.Violated(window, b.App.SLO) {
+			continue // below the violation start-point: not a localization event
+		}
+		for _, c := range ext.Features(window) {
+			samples = append(samples, labelledSample{
+				feat:    []float64{c.RI, c.CI / 5},
+				culprit: c.Instance == tgt.ID,
+			})
+		}
+	}
+	return samples, nil
+}
+
+// Fig9a runs the single-anomaly localization study per anomaly type
+// (network delay, CPU, LLC, memory bandwidth, I/O, network bandwidth) and
+// sweeps the SVM decision threshold to trace each ROC curve.
+func Fig9a(sc Scale, seed int64) (*Fig9aResult, error) {
+	spec := topology.SocialNetwork()
+	res := &Fig9aResult{
+		AUC: map[string]float64{}, Curves: map[string][][2]float64{},
+		TPRAtFPR15: map[string]float64{},
+	}
+	events := 20
+	if sc.DurationMul >= 1 {
+		events = 50
+	}
+	kinds := []injector.Kind{
+		injector.NetworkDelay, injector.CPUStress, injector.LLCStress,
+		injector.MemBWStress, injector.IOStress, injector.NetBWStress,
+	}
+	var aucs []float64
+	for i, kind := range kinds {
+		// Harvest a labelled training campaign, fit the incremental SVM
+		// over it (several SGD passes, as scikit's partial_fit loop does),
+		// then evaluate on a fresh campaign with a different seed.
+		ext := detect.New(detect.DefaultConfig(), newSVM(seed+int64(i)))
+		trainSamples, err := collectAnomalyEvents(spec, seed+int64(i)*31, kind, events, ext)
+		if err != nil {
+			return nil, err
+		}
+		txs, tys, _ := toXY(trainSamples)
+		if err := ext.SVM().FitBatch(txs, tys, 12, seed); err != nil {
+			return nil, err
+		}
+		samples, err := collectAnomalyEvents(spec, seed+int64(i)*31+7, kind, events, ext)
+		if err != nil {
+			return nil, err
+		}
+		xs, ys, pos := toXY(samples)
+		if pos == 0 || pos == len(samples) {
+			return nil, fmt.Errorf("fig9a: %v: degenerate label set (%d/%d positive)", kind, pos, len(samples))
+		}
+		ths := thresholds(-3, 3, 61)
+		fpr, tpr, err := ext.SVM().ROC(xs, ys, ths)
+		if err != nil {
+			return nil, err
+		}
+		auc, err := stats.AUC(fpr, tpr)
+		if err != nil {
+			return nil, err
+		}
+		name := kind.String()
+		res.AUC[name] = auc
+		aucs = append(aucs, auc)
+		for j := range fpr {
+			res.Curves[name] = append(res.Curves[name], [2]float64{fpr[j], tpr[j]})
+		}
+		res.TPRAtFPR15[name] = tprAt(fpr, tpr, 0.15)
+	}
+	res.AvgAUC = stats.Mean(aucs)
+	return res, nil
+}
+
+// toXY converts labelled samples into SVM training arrays, returning the
+// number of positives.
+func toXY(samples []labelledSample) (xs [][]float64, ys []float64, pos int) {
+	xs = make([][]float64, len(samples))
+	ys = make([]float64, len(samples))
+	for j, s := range samples {
+		xs[j] = s.feat
+		if s.culprit {
+			ys[j] = 1
+			pos++
+		} else {
+			ys[j] = -1
+		}
+	}
+	return xs, ys, pos
+}
+
+func thresholds(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// tprAt returns the best TPR among points with FPR <= limit.
+func tprAt(fpr, tpr []float64, limit float64) float64 {
+	best := 0.0
+	for i := range fpr {
+		if fpr[i] <= limit && tpr[i] > best {
+			best = tpr[i]
+		}
+	}
+	return best
+}
+
+// String renders the Fig. 9(a) report.
+func (r *Fig9aResult) String() string {
+	t := &Table{
+		Title:  "Fig 9(a): single-anomaly localization ROC",
+		Header: []string{"anomaly", "AUC", "TPR @ FPR<=0.15"},
+	}
+	for _, name := range sortedKeys(r.AUC) {
+		t.Add(name, f2(r.AUC[name]), f2(r.TPRAtFPR15[name]))
+	}
+	return t.String() + fmt.Sprintf("average AUC = %.3f (paper: 0.978)\n", r.AvgAUC)
+}
+
+// Fig9bResult is the multi-anomaly localization accuracy across the four
+// benchmarks and two processor ISAs (paper: 92.8-94.6%, overall 93.8%).
+type Fig9bResult struct {
+	// Accuracy[arch][benchmark] in [0,1].
+	Accuracy map[string]map[string]float64
+	Overall  float64
+}
+
+// Fig9b runs the Fig. 9(c) campaign — consecutive 10s windows with per-type
+// random intensities — on x86-only and ppc64-only clusters and scores
+// instance-level localization accuracy.
+func Fig9b(sc Scale, seed int64) (*Fig9bResult, error) {
+	res := &Fig9bResult{Accuracy: map[string]map[string]float64{
+		"x86": {}, "ppc64": {},
+	}}
+	archNodes := map[string][]cluster.HardwareProfile{
+		"x86":   repeatProfile(cluster.XeonProfile, 15),
+		"ppc64": repeatProfile(cluster.PowerProfile, 15),
+	}
+	windows := 12
+	if sc.DurationMul < 1 {
+		windows = 6
+	}
+	var all []float64
+	for _, arch := range []string{"x86", "ppc64"} {
+		for bi, spec := range topology.All() {
+			acc, err := fig9bRun(spec, seed+int64(bi)*101, archNodes[arch], windows)
+			if err != nil {
+				return nil, err
+			}
+			res.Accuracy[arch][spec.Name] = acc
+			all = append(all, acc)
+		}
+	}
+	res.Overall = stats.Mean(all)
+	return res, nil
+}
+
+func repeatProfile(p cluster.HardwareProfile, n int) []cluster.HardwareProfile {
+	out := make([]cluster.HardwareProfile, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+// fig9bRun executes the multi-anomaly schedule of Fig. 9(c): in each 10s
+// window, every anomaly type is active with a random intensity on a random
+// target; accuracy is the fraction of correct per-instance binary decisions.
+func fig9bRun(spec *topology.Spec, seed int64, nodes []cluster.HardwareProfile, windows int) (float64, error) {
+	b, err := harness.New(harness.Options{Seed: seed, Spec: spec, SLOMargin: 1.6, Nodes: nodes})
+	if err != nil {
+		return 0, err
+	}
+	ext := detect.New(detect.DefaultConfig(), newSVM(seed))
+	b.AttachWorkload(workload.Constant{RPS: 150})
+	targets := b.Containers()
+	r := sim.Stream(seed, "fig9b")
+	kinds := []injector.Kind{
+		injector.NetworkDelay, injector.CPUStress, injector.LLCStress,
+		injector.MemBWStress, injector.IOStress, injector.NetBWStress,
+	}
+
+	// Warm-up + training phase: labelled windows are harvested, then the
+	// incremental SVM is fitted over them before the scored phase.
+	windowLen := 10 * sim.Second
+	var trainSamples []labelledSample
+	var correct, total int
+	runWindow := func(train bool) {
+		// Schedule this window's anomalies: each type at random intensity
+		// on a random target (Fig. 9(c): intensity ∈ [0,1] per type).
+		for _, k := range kinds {
+			intensity := r.Float64()
+			if intensity < 0.35 {
+				continue // type idle this window (below visible intensity)
+			}
+			tgt := targets[r.Intn(len(targets))]
+			b.Injector.Inject(injector.Injection{
+				Kind: k, Target: tgt, Intensity: intensity, Duration: windowLen,
+			})
+		}
+		start := b.Eng.Now()
+		b.Eng.RunFor(windowLen)
+		now := b.Eng.Now()
+		traces := b.DB.Select(tracedb.Query{Since: start})
+		truth := b.Injector.ActiveDuringOverlap(start, now, (now-start)/2)
+		if train {
+			for _, c := range ext.Features(traces) {
+				_, culprit := truth[c.Instance]
+				trainSamples = append(trainSamples, labelledSample{
+					feat: []float64{c.RI, c.CI / 5}, culprit: culprit,
+				})
+			}
+			return
+		}
+		for _, c := range ext.Candidates(traces) {
+			_, culprit := truth[c.Instance]
+			if c.Critical == culprit {
+				correct++
+			}
+			total++
+		}
+	}
+	for i := 0; i < 8; i++ {
+		runWindow(true)
+	}
+	txs, tys, _ := toXY(trainSamples)
+	if len(txs) > 0 {
+		if err := ext.SVM().FitBatch(txs, tys, 10, seed); err != nil {
+			return 0, err
+		}
+	}
+	for i := 0; i < windows; i++ {
+		runWindow(false)
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("fig9b: no candidates scored for %s", spec.Name)
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// String renders the Fig. 9(b) report.
+func (r *Fig9bResult) String() string {
+	t := &Table{
+		Title:  "Fig 9(b): multi-anomaly localization accuracy",
+		Header: []string{"benchmark", "x86", "ppc64"},
+	}
+	for _, name := range sortedKeys(r.Accuracy["x86"]) {
+		t.Add(name, pct(r.Accuracy["x86"][name]), pct(r.Accuracy["ppc64"][name]))
+	}
+	return t.String() + fmt.Sprintf("overall accuracy = %.1f%% (paper: 93.8%%)\n", 100*r.Overall)
+}
+
+// Fig9cResult is the anomaly-injection schedule itself (the experiment
+// input visualized in the paper's Fig. 9(c)).
+type Fig9cResult struct {
+	Windows   []int
+	Kinds     []string
+	Intensity map[string][]float64 // kind → per-window intensity
+}
+
+// Fig9c materializes the schedule used by Fig9b for inspection.
+func Fig9c(seed int64) *Fig9cResult {
+	r := sim.Stream(seed, "fig9b")
+	kinds := []injector.Kind{
+		injector.NetworkDelay, injector.CPUStress, injector.LLCStress,
+		injector.MemBWStress, injector.IOStress, injector.NetBWStress,
+	}
+	res := &Fig9cResult{Intensity: map[string][]float64{}}
+	for _, k := range kinds {
+		res.Kinds = append(res.Kinds, k.String())
+	}
+	for w := 0; w < 12; w++ {
+		res.Windows = append(res.Windows, w+1)
+		for _, k := range kinds {
+			intensity := r.Float64()
+			if intensity < 0.35 {
+				intensity = 0
+			}
+			res.Intensity[k.String()] = append(res.Intensity[k.String()], intensity)
+			if intensity > 0 {
+				r.Intn(1) // target draw, consumed to mirror fig9bRun
+			}
+		}
+	}
+	return res
+}
+
+// String renders the Fig. 9(c) schedule.
+func (r *Fig9cResult) String() string {
+	t := &Table{
+		Title:  "Fig 9(c): multi-anomaly injection schedule (intensity per 10s window)",
+		Header: append([]string{"anomaly"}, intStrings(r.Windows)...),
+	}
+	for _, k := range r.Kinds {
+		row := []string{k}
+		for _, v := range r.Intensity[k] {
+			row = append(row, f2(v))
+		}
+		t.Add(row...)
+	}
+	return t.String()
+}
+
+func intStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("T%d", x)
+	}
+	return out
+}

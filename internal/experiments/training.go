@@ -1,0 +1,485 @@
+package experiments
+
+import (
+	"firm/internal/cluster"
+	"fmt"
+
+	"firm/internal/core"
+	"firm/internal/detect"
+	"firm/internal/harness"
+	"firm/internal/injector"
+	"firm/internal/rl"
+	"firm/internal/sim"
+	"firm/internal/stats"
+	"firm/internal/topology"
+	"firm/internal/tracedb"
+	"firm/internal/workload"
+)
+
+// Variant selects the RL-agent arrangement of §4.3.
+type Variant int
+
+// The three trained models of Fig. 11(a).
+const (
+	OneForAll   Variant = iota // a common agent for all microservices
+	OneForEach                 // a tailored agent per microservice
+	Transferred                // per-microservice agents warm-started from a base
+)
+
+// String names the variant as in Fig. 11(a)'s legend.
+func (v Variant) String() string {
+	switch v {
+	case OneForAll:
+		return "One-for-All"
+	case OneForEach:
+		return "One-for-Each"
+	case Transferred:
+		return "Transferred"
+	}
+	return "variant(?)"
+}
+
+// TrainResult captures a training campaign.
+type TrainResult struct {
+	Variant  Variant
+	Rewards  []float64 // total episode reward per episode
+	Smoothed []float64 // moving average (window 8), the Fig. 11(a) curves
+	Provider core.AgentProvider
+	// Checkpoints holds snapshots of the shared/base agent taken every
+	// CheckpointEvery episodes (empty for per-service variants).
+	Checkpoints  []rl.Snapshot
+	CheckpointEp []int
+}
+
+// episodeDuration is the simulated length of one training episode. The
+// paper uses 300 time steps per episode (Table 4) with early termination in
+// initial stages; the reproduction uses the controller's 1s interval and a
+// shorter horizon to keep simulation cost manageable.
+const episodeDuration = 20 * sim.Second
+
+// TrainOpts configures a training campaign.
+type TrainOpts struct {
+	Seed     int64
+	Spec     *topology.Spec
+	Episodes int
+	Variant  Variant
+	// Base supplies the source agent for Transferred.
+	Base *rl.Agent
+	// CheckpointEvery snapshots the (shared) agent for Fig. 11(b); 0 = off.
+	CheckpointEvery int
+}
+
+// Train runs an RL training campaign on the given benchmark (the paper
+// trains on Train-Ticket, §4.3): each episode deploys a fresh cluster,
+// drives it with load plus the randomized anomaly campaign, and lets the
+// FIRM controller learn online.
+func Train(opts TrainOpts) (*TrainResult, error) {
+	if opts.Spec == nil {
+		opts.Spec = topology.TrainTicket()
+	}
+	if opts.Episodes <= 0 {
+		opts.Episodes = 100
+	}
+	// Every fresh agent is behaviour-cloned from the guided mitigation rule
+	// before DDPG refinement: the paper's from-scratch exploration spans
+	// ~15000 episodes, which this reproduction compresses (see DESIGN.md).
+	bc := func(ag *rl.Agent) { pretrainGuided(ag, opts.Seed) }
+	var prov core.AgentProvider
+	switch opts.Variant {
+	case OneForAll:
+		cfg := rl.DefaultConfig()
+		cfg.Seed = opts.Seed
+		ag := rl.New(cfg)
+		bc(ag)
+		prov = core.SharedAgent{A: ag}
+	case OneForEach:
+		cfg := rl.DefaultConfig()
+		cfg.Seed = opts.Seed
+		prov = &core.PerServiceAgents{Cfg: cfg, Init: bc}
+	case Transferred:
+		cfg := rl.DefaultConfig()
+		cfg.Seed = opts.Seed
+		prov = &core.PerServiceAgents{Cfg: cfg, Base: opts.Base}
+	}
+	res := &TrainResult{Variant: opts.Variant, Provider: prov}
+	ma := stats.NewMovingAvg(8)
+
+	for ep := 0; ep < opts.Episodes; ep++ {
+		// The environment seed is fixed across episodes: §4.3 trains all
+		// models "subjected to the same sequence of performance anomaly
+		// injections", so only the agent's exploration varies per episode.
+		b, err := harness.New(harness.Options{
+			Seed:         opts.Seed,
+			Spec:         opts.Spec,
+			SLOMargin:    1.6,
+			CalibrationN: 6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.AttachWorkload(workload.Constant{RPS: 120})
+		cfg := core.DefaultConfig()
+		cfg.Training = true
+		cfg.IdleReclaim = 0 // hold provisioning constant while learning mitigation
+		ctl := b.AttachFIRM(cfg, prov, nil)
+		camp := injector.DefaultCampaign(b.Injector, b.Containers())
+		// Denser, longer injections than steady state accelerate
+		// exploration (§3.6: the injector exists to span the trade-off
+		// space quickly); sustained anomalies force the agent to mitigate
+		// rather than wait out transient contention.
+		camp.MeanInterarrival = 3 * sim.Second
+		camp.MinDuration = 8 * sim.Second
+		camp.MaxDuration = 16 * sim.Second
+		camp.MinIntensity = 0.6
+		camp.Start()
+		b.Eng.RunFor(episodeDuration)
+		camp.Stop()
+		res.Rewards = append(res.Rewards, ctl.EpisodeReward)
+		res.Smoothed = append(res.Smoothed, ma.Add(ctl.EpisodeReward))
+		ctl.ResetEpisode()
+
+		if opts.CheckpointEvery > 0 && (ep+1)%opts.CheckpointEvery == 0 {
+			if agents := prov.Agents(); len(agents) > 0 {
+				snap, err := agents[0].Save()
+				if err != nil {
+					return nil, err
+				}
+				res.Checkpoints = append(res.Checkpoints, snap)
+				res.CheckpointEp = append(res.CheckpointEp, ep+1)
+			}
+		}
+	}
+	return res, nil
+}
+
+// pretrainGuided behaviour-clones the guided mitigation rule into the
+// actor: raise to maximum every resource whose utilization feature reports
+// oversubscription (≥1.2), hold everything else at the reference.
+func pretrainGuided(ag *rl.Agent, seed int64) {
+	r := sim.Stream(seed, "bc-pretrain")
+	const n = 3000
+	states := make([][]float64, n)
+	actions := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		st := make([]float64, 8)
+		st[0] = r.Float64()           // SV
+		st[1] = 0.5 + r.Float64()*1.5 // WC
+		st[2] = r.Float64()           // RC
+		act := make([]float64, 5)
+		for rr := 0; rr < 5; rr++ {
+			u := r.Float64() * 2
+			st[3+rr] = u
+			if u >= 1.2 {
+				act[rr] = 1
+			}
+		}
+		states[i] = st
+		actions[i] = act
+	}
+	if err := ag.PretrainActor(states, actions, 200, 3e-3); err != nil {
+		panic(err) // synthetic data cannot mismatch
+	}
+}
+
+// Fig11a reproduces the learning curves: total reward during training for
+// one-for-all, one-for-each, and transferred agents on Train-Ticket.
+type Fig11aResult struct {
+	Episodes []int
+	Series   map[string][]float64 // variant name → smoothed rewards
+	// FinalReward per variant (mean of last quarter).
+	FinalReward map[string]float64
+	// ConvergedEpisode: first episode whose smoothed reward reaches 90% of
+	// the final plateau (the paper's "convergence" notion).
+	ConvergedEpisode map[string]int
+}
+
+// Fig11a runs the three training campaigns.
+func Fig11a(sc Scale, seed int64) (*Fig11aResult, error) {
+	spec := topology.TrainTicket()
+	all, err := Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount, Variant: OneForAll})
+	if err != nil {
+		return nil, err
+	}
+	each, err := Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount, Variant: OneForEach})
+	if err != nil {
+		return nil, err
+	}
+	base := all.Provider.Agents()[0]
+	trans, err := Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount, Variant: Transferred, Base: base})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11aResult{
+		Series:           map[string][]float64{},
+		FinalReward:      map[string]float64{},
+		ConvergedEpisode: map[string]int{},
+	}
+	for i := 0; i < sc.EpisodeCount; i++ {
+		res.Episodes = append(res.Episodes, i+1)
+	}
+	for _, tr := range []*TrainResult{all, each, trans} {
+		name := tr.Variant.String()
+		res.Series[name] = tr.Smoothed
+		tail := tr.Smoothed[len(tr.Smoothed)*3/4:]
+		res.FinalReward[name] = stats.Mean(tail)
+		res.ConvergedEpisode[name] = convergedAt(tr.Smoothed, 0.9)
+	}
+	return res, nil
+}
+
+func convergedAt(smoothed []float64, frac float64) int {
+	if len(smoothed) == 0 {
+		return 0
+	}
+	plateau := stats.Mean(smoothed[len(smoothed)*3/4:])
+	for i, v := range smoothed {
+		if v >= frac*plateau {
+			return i + 1
+		}
+	}
+	return len(smoothed)
+}
+
+// String renders the Fig. 11(a) report.
+func (r *Fig11aResult) String() string {
+	t := &Table{
+		Title:  "Fig 11(a): RL training reward (Train-Ticket)",
+		Header: []string{"variant", "final reward (avg)", "converged @ episode", "reward curve (every 1/8)"},
+	}
+	for _, name := range sortedKeys(r.Series) {
+		s := r.Series[name]
+		var pts []string
+		step := len(s) / 8
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(s); i += step {
+			pts = append(pts, f1(s[i]))
+		}
+		t.Add(name, f1(r.FinalReward[name]), fmt.Sprintf("%d", r.ConvergedEpisode[name]),
+			fmt.Sprint(pts))
+	}
+	return t.String()
+}
+
+// Fig11bResult reproduces mitigation time vs training progress, with the
+// rule-based baselines as horizontal references.
+type Fig11bResult struct {
+	Episodes      []int
+	SingleRL      []float64 // mean mitigation time (s) per checkpoint
+	MultiRL       []float64
+	HPABaseline   float64
+	AIMDBaseline  float64
+	FinalSingleRL float64
+}
+
+// Fig11b evaluates checkpointed agents: every checkpoint is loaded into a
+// fresh controller and subjected to a one-minute continuous injection
+// campaign; mitigation time is measured as in §4.3.
+func Fig11b(sc Scale, seed int64) (*Fig11bResult, error) {
+	spec := topology.TrainTicket()
+	single, err := Train(TrainOpts{
+		Seed: seed, Spec: spec, Episodes: sc.EpisodeCount,
+		Variant: OneForAll, CheckpointEvery: sc.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11bResult{}
+
+	events := 10
+	if sc.DurationMul >= 1 {
+		events = 20
+	}
+	for i, snap := range single.Checkpoints {
+		cfg := rl.DefaultConfig()
+		cfg.Seed = seed + 100
+		ag := rl.New(cfg)
+		if err := ag.Load(snap); err != nil {
+			return nil, err
+		}
+		mt, err := evalMitigation(spec, seed+500, core.SharedAgent{A: ag}, events)
+		if err != nil {
+			return nil, err
+		}
+		res.Episodes = append(res.Episodes, single.CheckpointEp[i])
+		res.SingleRL = append(res.SingleRL, mt)
+		_ = i
+	}
+	if n := len(res.SingleRL); n > 0 {
+		res.FinalSingleRL = res.SingleRL[n-1]
+	}
+
+	// Multi-RL: per-service agents transferred from the trained single-RL
+	// base and fine-tuned (§3.4's deployment path for tailored agents).
+	base := rl.New(rl.DefaultConfig())
+	if len(single.Checkpoints) > 0 {
+		if err := base.Load(single.Checkpoints[len(single.Checkpoints)-1]); err != nil {
+			return nil, err
+		}
+	}
+	multi, err := Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount / 2,
+		Variant: Transferred, Base: base})
+	if err != nil {
+		return nil, err
+	}
+	mt, err := evalMitigation(spec, seed+500, multi.Provider, events)
+	if err != nil {
+		return nil, err
+	}
+	for range res.Episodes {
+		res.MultiRL = append(res.MultiRL, mt) // final-policy reference line
+	}
+
+	// Baselines measured under the identical event protocol.
+	if res.HPABaseline, err = evalBaselineMitigation(spec, seed+500, PolicyHPA, events); err != nil {
+		return nil, err
+	}
+	if res.AIMDBaseline, err = evalBaselineMitigation(spec, seed+500, PolicyAIMD, events); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// mitigationMaxDur is how long a sustained evaluation anomaly lasts; a
+// policy that never mitigates scores the full duration.
+const mitigationMaxDur = 25 * sim.Second
+
+// measureMitigation runs the §4.3 evaluation protocol: sustained anomalies
+// are injected one at a time and the time from SLO-violation onset to
+// clearance is measured per event. attach installs the policy under test on
+// the bench before the workload starts.
+func measureMitigation(spec *topology.Spec, seed int64, events int,
+	attach func(*harness.Bench)) (float64, error) {
+
+	b, err := harness.New(harness.Options{Seed: seed, Spec: spec, SLOMargin: 1.6})
+	if err != nil {
+		return 0, err
+	}
+	attach(b)
+	b.AttachWorkload(workload.Constant{RPS: 120})
+	r := sim.Stream(seed, "mitigation-eval")
+	kinds := []injector.Kind{
+		injector.CPUStress, injector.MemBWStress, injector.LLCStress,
+		injector.IOStress, injector.NetBWStress,
+	}
+	// Victims are drawn from load-bearing containers (queueing victims are
+	// the ones whose SLO violations require active mitigation; a stressor
+	// on an idle service is absorbed and measures nothing).
+	loadedTargets := func() []*cluster.Container {
+		var out []*cluster.Container
+		for _, ct := range b.Containers() {
+			if ct.Ready() && ct.Utilization().MaxElem() >= 0.15 {
+				out = append(out, ct)
+			}
+		}
+		if len(out) == 0 {
+			out = b.Containers()
+		}
+		return out
+	}
+	var times []float64
+	for ev := 0; ev < events; ev++ {
+		b.Eng.RunFor(4 * sim.Second) // calm period
+		targets := loadedTargets()
+		tgt := targets[r.Intn(len(targets))]
+		kind := kinds[r.Intn(len(kinds))]
+		stop := b.Injector.Inject(injector.Injection{
+			Kind: kind, Target: tgt, Intensity: 1.0, Duration: mitigationMaxDur,
+		})
+		t0 := b.Eng.Now()
+		deadline := t0 + mitigationMaxDur
+		violStart := sim.Time(-1)
+		mitigated := sim.Time(-1)
+		firstClear := sim.Time(-1)
+		clearStreak := 0
+		violStreak := 0
+		firstViol := sim.Time(-1)
+		for b.Eng.Now() < deadline {
+			b.Eng.RunFor(500 * sim.Millisecond)
+			window := b.DB.Select(tracedb.Query{Since: b.Eng.Now() - 2*sim.Second, IncludeDrop: true})
+			v := detect.Violated(window, b.App.SLO)
+			if violStart < 0 {
+				// Confirmed onset: two consecutive violated samples (a
+				// single P99 blip at injection time is not an event).
+				if v {
+					if violStreak == 0 {
+						firstViol = b.Eng.Now()
+					}
+					violStreak++
+					if violStreak >= 2 {
+						violStart = firstViol
+					}
+				} else {
+					violStreak = 0
+				}
+				continue
+			}
+			// Hysteresis: the violation counts as mitigated only after
+			// three consecutive clear samples (1.5s), so a P99 flickering
+			// around the SLO is not scored as instant mitigation.
+			if !v {
+				if clearStreak == 0 {
+					firstClear = b.Eng.Now()
+				}
+				clearStreak++
+				if clearStreak >= 3 {
+					mitigated = firstClear
+					break
+				}
+			} else {
+				clearStreak = 0
+			}
+		}
+		stop()
+		if violStart < 0 {
+			continue // anomaly did not trigger a violation: not an event
+		}
+		if mitigated < 0 {
+			times = append(times, mitigationMaxDur.Seconds())
+		} else {
+			times = append(times, (mitigated - violStart).Seconds())
+		}
+	}
+	if len(times) == 0 {
+		return 0, fmt.Errorf("mitigation eval: no violations triggered")
+	}
+	return stats.Mean(times), nil
+}
+
+// evalMitigation measures mean mitigation time for a FIRM policy.
+func evalMitigation(spec *topology.Spec, seed int64, prov core.AgentProvider, events int) (float64, error) {
+	return measureMitigation(spec, seed, events, func(b *harness.Bench) {
+		cfg := core.DefaultConfig()
+		// Mitigation time is compared at equal provisioning: the reclaim
+		// path (FIRM's efficiency objective) is evaluated separately in
+		// Fig. 10(b).
+		cfg.IdleReclaim = 0
+		b.AttachFIRM(cfg, prov, nil)
+	})
+}
+
+func evalBaselineMitigation(spec *topology.Spec, seed int64, p Policy, events int) (float64, error) {
+	return measureMitigation(spec, seed, events, func(b *harness.Bench) {
+		switch p {
+		case PolicyHPA:
+			b.AttachHPA(0.8, 5*sim.Second)
+		case PolicyAIMD:
+			b.AttachAIMD(2 * sim.Second)
+		}
+	})
+}
+
+// String renders the Fig. 11(b) report.
+func (r *Fig11bResult) String() string {
+	t := &Table{
+		Title:  "Fig 11(b): SLO mitigation time vs training (seconds)",
+		Header: []string{"episode", "FIRM (Single-RL)", "FIRM (Multi-RL, final)"},
+	}
+	for i, ep := range r.Episodes {
+		t.Add(fmt.Sprintf("%d", ep), f2(r.SingleRL[i]), f2(r.MultiRL[i]))
+	}
+	s := t.String()
+	s += fmt.Sprintf("baselines: K8S autoscaling=%.2fs AIMD=%.2fs\n", r.HPABaseline, r.AIMDBaseline)
+	return s
+}

@@ -1,0 +1,206 @@
+package injector
+
+import (
+	"testing"
+
+	"firm/internal/cluster"
+	"firm/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *cluster.Cluster, *cluster.Container, *Injector) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.NoiseSD = 0
+	cl := cluster.New(eng, cfg)
+	cl.AddNode(cluster.XeonProfile)
+	rs, err := cl.DeployService("victim", 1, cluster.V(2, 1000, 4, 100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cl, rs.Pick(), New(eng, 7)
+}
+
+func TestKindNames(t *testing.T) {
+	if NumKinds != 7 {
+		t.Fatalf("Table 5 lists 7 anomaly types, have %d", NumKinds)
+	}
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		if seen[k.String()] {
+			t.Fatalf("duplicate kind name %s", k)
+		}
+		seen[k.String()] = true
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("out-of-range name")
+	}
+	if len(SortedKindNames()) != 7 {
+		t.Fatal("sorted names")
+	}
+}
+
+func TestResourceStressAppliesAndExpires(t *testing.T) {
+	eng, _, c, in := setup(t)
+	in.Inject(Injection{Kind: MemBWStress, Target: c, Intensity: 1, Duration: sim.Second})
+	if got := c.InjectedLoad()[cluster.MemBW]; got != 2.5*1000 {
+		t.Fatalf("injected membw = %v, want 2500 (2.5x limit)", got)
+	}
+	if in.ActiveCount() != 1 {
+		t.Fatal("injection not active")
+	}
+	eng.RunUntil(2 * sim.Second)
+	if got := c.InjectedLoad()[cluster.MemBW]; got != 0 {
+		t.Fatalf("injection did not expire: %v", got)
+	}
+	if in.ActiveCount() != 0 {
+		t.Fatal("active count not cleared")
+	}
+}
+
+func TestEarlyStopIdempotent(t *testing.T) {
+	eng, _, c, in := setup(t)
+	stop := in.Inject(Injection{Kind: CPUStress, Target: c, Intensity: 0.5, Duration: sim.Minute})
+	if c.InjectedLoad()[cluster.CPU] == 0 {
+		t.Fatal("cpu stress not applied")
+	}
+	stop()
+	stop() // second call is a no-op
+	if c.InjectedLoad()[cluster.CPU] != 0 {
+		t.Fatal("early stop did not clean up")
+	}
+	eng.RunUntil(2 * sim.Minute) // scheduled expiry must not double-revert
+	if c.InjectedLoad()[cluster.CPU] != 0 {
+		t.Fatal("double revert")
+	}
+	recs := in.History()
+	if len(recs) != 1 || recs[0].End != 0 {
+		t.Fatalf("history end not clamped to stop time: %+v", recs)
+	}
+}
+
+func TestNetworkDelayInjection(t *testing.T) {
+	eng, _, c, in := setup(t)
+	in.Inject(Injection{Kind: NetworkDelay, Target: c, Intensity: 0.5, Duration: sim.Second})
+	want := sim.Time(float64(80*sim.Millisecond) * 0.5)
+	if c.NetDelay() != want {
+		t.Fatalf("net delay %v, want %v", c.NetDelay(), want)
+	}
+	eng.RunUntil(2 * sim.Second)
+	if c.NetDelay() != 0 {
+		t.Fatal("delay not reverted")
+	}
+}
+
+func TestWorkloadSpikeHook(t *testing.T) {
+	_, _, _, in := setup(t)
+	var gotIntensity float64
+	var gotDur sim.Time
+	in.SpikeHook = func(i float64, d sim.Time) { gotIntensity, gotDur = i, d }
+	in.Inject(Injection{Kind: Workload, Intensity: 0.8, Duration: 5 * sim.Second})
+	if gotIntensity != 0.8 || gotDur != 5*sim.Second {
+		t.Fatalf("hook got (%v, %v)", gotIntensity, gotDur)
+	}
+}
+
+func TestIntensityClamped(t *testing.T) {
+	_, _, c, in := setup(t)
+	in.Inject(Injection{Kind: IOStress, Target: c, Intensity: 5, Duration: sim.Second})
+	if got := c.InjectedLoad()[cluster.IOBW]; got != 2.5*100 {
+		t.Fatalf("intensity not clamped to 1: load %v", got)
+	}
+}
+
+func TestGroundTruthQueries(t *testing.T) {
+	eng, _, c, in := setup(t)
+	in.Inject(Injection{Kind: LLCStress, Target: c, Intensity: 1, Duration: 10 * sim.Second})
+	eng.RunUntil(5 * sim.Second)
+	if k, ok := in.ActiveAt(5 * sim.Second)["victim"]; !ok || k != LLCStress {
+		t.Fatalf("ActiveAt missing victim: %v", in.ActiveAt(5*sim.Second))
+	}
+	if _, ok := in.ActiveInstancesAt(5 * sim.Second)[c.ID]; !ok {
+		t.Fatal("ActiveInstancesAt missing container")
+	}
+	if len(in.ActiveAt(20*sim.Second)) != 0 {
+		t.Fatal("expired injection still reported")
+	}
+	if len(in.ActiveDuring(0, sim.Second)) != 1 {
+		t.Fatal("overlap query start")
+	}
+	if len(in.ActiveDuring(11*sim.Second, 12*sim.Second)) != 0 {
+		t.Fatal("overlap query after end")
+	}
+}
+
+func TestConcurrentInjectionsCompose(t *testing.T) {
+	eng, _, c, in := setup(t)
+	in.Inject(Injection{Kind: MemBWStress, Target: c, Intensity: 0.5, Duration: 2 * sim.Second})
+	in.Inject(Injection{Kind: MemBWStress, Target: c, Intensity: 0.5, Duration: 4 * sim.Second})
+	want := 2 * 0.5 * 2.5 * 1000.0
+	if got := c.InjectedLoad()[cluster.MemBW]; got != want {
+		t.Fatalf("stacked load %v, want %v", got, want)
+	}
+	eng.RunUntil(3 * sim.Second)
+	if got := c.InjectedLoad()[cluster.MemBW]; got != want/2 {
+		t.Fatalf("after first expiry %v, want %v", got, want/2)
+	}
+	eng.RunUntil(5 * sim.Second)
+	if got := c.InjectedLoad()[cluster.MemBW]; got != 0 {
+		t.Fatalf("after both expire %v", got)
+	}
+}
+
+func TestCampaignFiresInjections(t *testing.T) {
+	eng, _, c, in := setup(t)
+	camp := DefaultCampaign(in, []*cluster.Container{c})
+	camp.Start()
+	eng.RunUntil(60 * sim.Second)
+	n := len(in.History())
+	// λ=0.33/s → ~20 injections in 60s; allow wide tolerance.
+	if n < 8 || n > 40 {
+		t.Fatalf("campaign fired %d injections in 60s, want ≈20", n)
+	}
+	camp.Stop()
+	eng.RunUntil(120 * sim.Second)
+	if after := len(in.History()); after != n {
+		t.Fatalf("campaign fired after Stop: %d -> %d", n, after)
+	}
+	// All injections target the victim and respect configured bounds.
+	for _, r := range in.History() {
+		if r.Target != c {
+			t.Fatal("wrong target")
+		}
+		if r.Intensity < 0.4 || r.Intensity > 1.0 {
+			t.Fatalf("intensity %v out of bounds", r.Intensity)
+		}
+		if r.Kind == Workload {
+			t.Fatal("default campaign must skip workload kind")
+		}
+	}
+}
+
+func TestCampaignEmptyTargets(t *testing.T) {
+	eng, _, _, in := setup(t)
+	camp := DefaultCampaign(in, nil)
+	camp.Start() // must not panic or schedule anything
+	eng.RunUntil(10 * sim.Second)
+	if len(in.History()) != 0 {
+		t.Fatal("no targets must mean no injections")
+	}
+}
+
+func TestInjectionSlowsVictim(t *testing.T) {
+	eng, _, c, in := setup(t)
+	var clean sim.Time
+	c.Submit(cluster.Work{Base: 10 * sim.Millisecond, Demand: cluster.V(1, 500, 0, 0, 0),
+		OnDone: func(q, p sim.Time) { clean = p }})
+	eng.RunUntil(sim.Second)
+	in.Inject(Injection{Kind: MemBWStress, Target: c, Intensity: 1, Duration: 10 * sim.Second})
+	var stressed sim.Time
+	c.Submit(cluster.Work{Base: 10 * sim.Millisecond, Demand: cluster.V(1, 500, 0, 0, 0),
+		OnDone: func(q, p sim.Time) { stressed = p }})
+	eng.RunUntil(2 * sim.Second)
+	if stressed <= clean {
+		t.Fatalf("membw anomaly must slow victim: %v vs %v", clean, stressed)
+	}
+}

@@ -1,0 +1,403 @@
+// Package rl implements the deep deterministic policy gradient (DDPG)
+// algorithm from the paper's §3.4 (Alg. 3): a model-free actor-critic
+// framework with replay buffer, target networks with soft updates, and
+// Ornstein-Uhlenbeck exploration noise. Network shapes follow the paper:
+// two fully connected hidden layers of 40 ReLU units; the actor ends in
+// Tanh (actions in [-1,1]^ActionDim), the critic is linear.
+//
+// Transfer learning (§3.4) is supported via TransferFrom: a specialized
+// per-microservice agent warm-starts from the general agent's weights.
+package rl
+
+import (
+	"errors"
+	"math/rand"
+
+	"firm/internal/nn"
+)
+
+// Transition is one (s_t, a_t, r_t, s_{t+1}) tuple (§3.4 RL primer).
+type Transition struct {
+	S    []float64
+	A    []float64
+	R    float64
+	S2   []float64
+	Done bool
+}
+
+// ReplayBuffer is the finite-sized transition cache R of Alg. 3.
+type ReplayBuffer struct {
+	buf  []Transition
+	cap  int
+	pos  int
+	full bool
+}
+
+// NewReplayBuffer creates a buffer with the given capacity.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		panic("rl: replay capacity must be positive")
+	}
+	return &ReplayBuffer{buf: make([]Transition, capacity), cap: capacity}
+}
+
+// Add inserts a transition, evicting the oldest when full.
+func (b *ReplayBuffer) Add(t Transition) {
+	b.buf[b.pos] = t
+	b.pos = (b.pos + 1) % b.cap
+	if b.pos == 0 {
+		b.full = true
+	}
+}
+
+// Len returns the number of stored transitions.
+func (b *ReplayBuffer) Len() int {
+	if b.full {
+		return b.cap
+	}
+	return b.pos
+}
+
+// Sample draws n transitions uniformly with replacement.
+func (b *ReplayBuffer) Sample(r *rand.Rand, n int) []Transition {
+	ln := b.Len()
+	if ln == 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := 0; i < n; i++ {
+		out[i] = b.buf[r.Intn(ln)]
+	}
+	return out
+}
+
+// OUNoise is an Ornstein-Uhlenbeck process, the standard exploration noise
+// for DDPG's continuous action space (Alg. 3 line 5's "random process N").
+type OUNoise struct {
+	Theta float64
+	Sigma float64
+	Mu    float64
+	x     []float64
+}
+
+// NewOUNoise creates a process over dim action dimensions.
+func NewOUNoise(dim int, theta, sigma float64) *OUNoise {
+	return &OUNoise{Theta: theta, Sigma: sigma, x: make([]float64, dim)}
+}
+
+// Reset re-centres the process (start of an episode).
+func (o *OUNoise) Reset() {
+	for i := range o.x {
+		o.x[i] = 0
+	}
+}
+
+// Sample advances the process and returns the current noise vector. The
+// returned slice aliases internal state; copy if retained.
+func (o *OUNoise) Sample(r *rand.Rand) []float64 {
+	for i := range o.x {
+		o.x[i] += o.Theta*(o.Mu-o.x[i]) + o.Sigma*r.NormFloat64()
+	}
+	return o.x
+}
+
+// Config holds the DDPG hyperparameters; defaults mirror Table 4.
+type Config struct {
+	StateDim   int
+	ActionDim  int
+	Hidden     int     // hidden units per layer (paper: 40)
+	ActorLR    float64 // paper: 3e-4
+	CriticLR   float64 // paper: 3e-3
+	Gamma      float64 // discount factor (paper: 0.9)
+	Tau        float64 // target soft-update rate
+	BatchSize  int     // minibatch size (paper: 64)
+	BufferCap  int     // replay buffer size (paper: 1e5)
+	NoiseTheta float64
+	NoiseSigma float64
+	// ActorDelay postpones actor (policy) updates for the first N train
+	// steps so the critic stabilizes before it steers the policy — the
+	// delayed-policy-update idea from TD3, which protects warm-started
+	// actors from being destroyed by an untrained critic's gradients.
+	ActorDelay uint64
+	Seed       int64
+}
+
+// DefaultConfig returns Table 4's hyperparameters for the paper's
+// state/action space (Table 3): 8 state inputs, 5 resource-limit actions.
+func DefaultConfig() Config {
+	return Config{
+		StateDim: 8, ActionDim: 5, Hidden: 40,
+		ActorLR: 3e-4, CriticLR: 3e-3,
+		Gamma: 0.9, Tau: 0.01,
+		BatchSize: 64, BufferCap: 100000,
+		NoiseTheta: 0.15, NoiseSigma: 0.2,
+		ActorDelay: 400,
+		Seed:       1,
+	}
+}
+
+// Agent is a DDPG learner.
+type Agent struct {
+	cfg     Config
+	actor   *nn.Net
+	critic  *nn.Net
+	actorT  *nn.Net
+	criticT *nn.Net
+	optA    *nn.Adam
+	optC    *nn.Adam
+	buf     *ReplayBuffer
+	noise   *OUNoise
+	rng     *rand.Rand
+
+	// Updates counts TrainStep invocations that performed a gradient step.
+	Updates uint64
+}
+
+// New creates a DDPG agent (Alg. 3 lines 1-3: random init, target copies,
+// empty replay buffer).
+func New(cfg Config) *Agent {
+	if cfg.StateDim <= 0 || cfg.ActionDim <= 0 {
+		panic("rl: invalid state/action dims")
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 40
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.BufferCap <= 0 {
+		cfg.BufferCap = 100000
+	}
+	if cfg.Gamma <= 0 || cfg.Gamma > 1 {
+		cfg.Gamma = 0.9
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	a := &Agent{
+		cfg: cfg,
+		actor: nn.New(r, []int{cfg.StateDim, cfg.Hidden, cfg.Hidden, cfg.ActionDim},
+			[]nn.Activation{nn.ReLU, nn.ReLU, nn.Tanh}),
+		critic: nn.New(r, []int{cfg.StateDim + cfg.ActionDim, cfg.Hidden, cfg.Hidden, 1},
+			[]nn.Activation{nn.ReLU, nn.ReLU, nn.Linear}),
+		buf:   NewReplayBuffer(cfg.BufferCap),
+		noise: NewOUNoise(cfg.ActionDim, cfg.NoiseTheta, cfg.NoiseSigma),
+		rng:   r,
+	}
+	a.actorT = a.actor.Clone()
+	a.criticT = a.critic.Clone()
+	a.optA = nn.NewAdam(a.actor, cfg.ActorLR)
+	a.optC = nn.NewAdam(a.critic, cfg.CriticLR)
+	a.optA.SetGradClip(5)
+	a.optC.SetGradClip(5)
+	return a
+}
+
+// Config returns the agent's configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Buffer exposes the replay buffer (tests, diagnostics).
+func (a *Agent) Buffer() *ReplayBuffer { return a.buf }
+
+// Act returns the deterministic policy action π(s) in [-1,1]^ActionDim.
+// The returned slice is freshly allocated.
+func (a *Agent) Act(state []float64) []float64 {
+	out := a.actor.Forward(state)
+	return append([]float64(nil), out...)
+}
+
+// ActExplore returns π(s) + N_t, clamped to [-1,1] (Alg. 3 line 8).
+func (a *Agent) ActExplore(state []float64) []float64 {
+	act := a.Act(state)
+	noise := a.noise.Sample(a.rng)
+	for i := range act {
+		act[i] += noise[i]
+		if act[i] > 1 {
+			act[i] = 1
+		}
+		if act[i] < -1 {
+			act[i] = -1
+		}
+	}
+	return act
+}
+
+// ResetNoise re-centres exploration noise (start of episode).
+func (a *Agent) ResetNoise() { a.noise.Reset() }
+
+// Observe stores a transition in the replay buffer (Alg. 3 line 10).
+func (a *Agent) Observe(t Transition) { a.buf.Add(t) }
+
+// Q evaluates the critic for a state-action pair.
+func (a *Agent) Q(state, action []float64) float64 {
+	in := make([]float64, 0, len(state)+len(action))
+	in = append(in, state...)
+	in = append(in, action...)
+	return a.critic.Forward(in)[0]
+}
+
+// TrainStep performs one DDPG update (Alg. 3 lines 11-15): sample a
+// minibatch, regress the critic toward the bootstrapped target, ascend the
+// actor along dQ/da, then soft-update both target networks. It returns the
+// minibatch critic loss and false when the buffer has too few samples.
+func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
+	if a.buf.Len() < a.cfg.BatchSize {
+		return 0, false
+	}
+	batch := a.buf.Sample(a.rng, a.cfg.BatchSize)
+	n := float64(len(batch))
+
+	// Critic update: minimize (y_i - Q(s_i, a_i))^2.
+	targets := make([]float64, len(batch))
+	for i, tr := range batch {
+		y := tr.R
+		if !tr.Done {
+			a2 := a.actorT.Forward(tr.S2)
+			in := make([]float64, 0, len(tr.S2)+len(a2))
+			in = append(in, tr.S2...)
+			in = append(in, a2...)
+			y += a.cfg.Gamma * a.criticT.Forward(in)[0]
+		}
+		targets[i] = y
+	}
+	a.critic.ZeroGrad()
+	for i, tr := range batch {
+		in := make([]float64, 0, len(tr.S)+len(tr.A))
+		in = append(in, tr.S...)
+		in = append(in, tr.A...)
+		q := a.critic.Forward(in)[0]
+		d := q - targets[i]
+		criticLoss += d * d / n
+		a.critic.Backward([]float64{2 * d / n})
+	}
+	a.optC.Step()
+
+	// Actor update: maximize Q(s, π(s)) → gradient ascent via chain rule
+	// through a frozen critic (its grads are discarded after extraction).
+	// Policy updates are delayed until the critic has seen enough batches.
+	if a.Updates < a.cfg.ActorDelay {
+		a.Updates++
+		if err := a.criticT.SoftUpdate(a.critic, a.cfg.Tau); err != nil {
+			panic(err)
+		}
+		return criticLoss, true
+	}
+	a.actor.ZeroGrad()
+	for _, tr := range batch {
+		act := a.actor.Forward(tr.S)
+		in := make([]float64, 0, len(tr.S)+len(act))
+		in = append(in, tr.S...)
+		in = append(in, act...)
+		a.critic.ZeroGrad()
+		a.critic.Forward(in)
+		gin := a.critic.Backward([]float64{1})
+		dqda := gin[len(tr.S):]
+		gact := make([]float64, len(dqda))
+		for i := range dqda {
+			gact[i] = -dqda[i] / n // minimize -Q
+		}
+		a.actor.Backward(gact)
+	}
+	a.critic.ZeroGrad() // drop contamination from dQ/da extraction
+	a.optA.Step()
+
+	// Soft target updates.
+	if err := a.actorT.SoftUpdate(a.actor, a.cfg.Tau); err != nil {
+		panic(err)
+	}
+	if err := a.criticT.SoftUpdate(a.critic, a.cfg.Tau); err != nil {
+		panic(err)
+	}
+	a.Updates++
+	return criticLoss, true
+}
+
+// PretrainActor behaviour-clones a demonstration policy: supervised MSE
+// regression of π(s) onto demonstrated actions. The paper explores from
+// scratch over thousands of episodes; a reproduction running orders of
+// magnitude fewer episodes seeds the actor this way and lets DDPG refine
+// it online. The target actor is synchronized afterwards.
+func (a *Agent) PretrainActor(states, actions [][]float64, epochs int, lr float64) error {
+	if len(states) != len(actions) || len(states) == 0 {
+		return errors.New("rl: bad demonstration set")
+	}
+	opt := nn.NewAdam(a.actor, lr)
+	idx := make([]int, len(states))
+	for i := range idx {
+		idx[i] = i
+	}
+	n := float64(len(states))
+	for e := 0; e < epochs; e++ {
+		a.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		a.actor.ZeroGrad()
+		for _, i := range idx {
+			out := a.actor.Forward(states[i])
+			grad := make([]float64, len(out))
+			for j := range out {
+				grad[j] = 2 * (out[j] - actions[i][j]) / n
+			}
+			a.actor.Backward(grad)
+		}
+		opt.Step()
+	}
+	return a.actorT.CopyFrom(a.actor)
+}
+
+// TransferFrom warm-starts this agent from src's learned networks: the
+// transfer-learning path of §3.4, where a specialized per-microservice
+// agent inherits the general agent's parameters and fine-tunes.
+func (a *Agent) TransferFrom(src *Agent) error {
+	if a.cfg.StateDim != src.cfg.StateDim || a.cfg.ActionDim != src.cfg.ActionDim {
+		return errors.New("rl: transfer requires matching state/action dims")
+	}
+	if err := a.actor.CopyFrom(src.actor); err != nil {
+		return err
+	}
+	if err := a.critic.CopyFrom(src.critic); err != nil {
+		return err
+	}
+	if err := a.actorT.CopyFrom(src.actorT); err != nil {
+		return err
+	}
+	return a.criticT.CopyFrom(src.criticT)
+}
+
+// Snapshot captures the current actor/critic weights (checkpointing for
+// Fig. 11(b)'s per-checkpoint mitigation evaluation).
+type Snapshot struct {
+	Actor  []byte
+	Critic []byte
+}
+
+// Save serializes the learned networks.
+func (a *Agent) Save() (Snapshot, error) {
+	act, err := a.actor.Marshal()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	cr, err := a.critic.Marshal()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return Snapshot{Actor: act, Critic: cr}, nil
+}
+
+// Load restores networks from a snapshot (targets are hard-copied).
+func (a *Agent) Load(s Snapshot) error {
+	actor, err := nn.Unmarshal(s.Actor)
+	if err != nil {
+		return err
+	}
+	critic, err := nn.Unmarshal(s.Critic)
+	if err != nil {
+		return err
+	}
+	if err := a.actor.CopyFrom(actor); err != nil {
+		return err
+	}
+	if err := a.critic.CopyFrom(critic); err != nil {
+		return err
+	}
+	if err := a.actorT.CopyFrom(actor); err != nil {
+		return err
+	}
+	return a.criticT.CopyFrom(critic)
+}

@@ -1,0 +1,312 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReplayBuffer(t *testing.T) {
+	b := NewReplayBuffer(3)
+	if b.Len() != 0 {
+		t.Fatal("empty buffer")
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(Transition{R: float64(i)})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (capacity)", b.Len())
+	}
+	// Oldest evicted: rewards 2,3,4 remain.
+	r := rand.New(rand.NewSource(1))
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		for _, tr := range b.Sample(r, 4) {
+			seen[tr.R] = true
+		}
+	}
+	for _, old := range []float64{0, 1} {
+		if seen[old] {
+			t.Fatalf("evicted transition %v sampled", old)
+		}
+	}
+	for _, cur := range []float64{2, 3, 4} {
+		if !seen[cur] {
+			t.Fatalf("live transition %v never sampled", cur)
+		}
+	}
+	if NewReplayBuffer(1).Sample(r, 3) != nil {
+		t.Fatal("empty sample must be nil")
+	}
+}
+
+func TestReplayBufferPanicsOnBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewReplayBuffer(0)
+}
+
+func TestOUNoiseMeanReverting(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	o := NewOUNoise(1, 0.15, 0.2)
+	var sum, n float64
+	for i := 0; i < 50000; i++ {
+		sum += o.Sample(r)[0]
+		n++
+	}
+	if mean := sum / n; math.Abs(mean) > 0.15 {
+		t.Fatalf("OU mean %v should revert toward 0", mean)
+	}
+	o.Reset()
+	// After reset the state starts at 0 again.
+	first := o.Sample(r)[0]
+	if math.Abs(first) > 1.0 {
+		t.Fatalf("post-reset sample %v too large", first)
+	}
+}
+
+func TestActShapesAndRange(t *testing.T) {
+	a := New(DefaultConfig())
+	s := make([]float64, 8)
+	act := a.Act(s)
+	if len(act) != 5 {
+		t.Fatalf("action dim %d", len(act))
+	}
+	for _, v := range act {
+		if v < -1 || v > 1 {
+			t.Fatalf("action %v outside tanh range", v)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		for _, v := range a.ActExplore(s) {
+			if v < -1 || v > 1 {
+				t.Fatalf("explored action %v outside clamp", v)
+			}
+		}
+	}
+}
+
+func TestTrainStepRequiresBatch(t *testing.T) {
+	a := New(DefaultConfig())
+	if _, ok := a.TrainStep(); ok {
+		t.Fatal("TrainStep must refuse with an empty buffer")
+	}
+}
+
+// A one-step continuous control task: state s ∈ [-1,1]^2, optimal action
+// a* = (s0, -s1, 0, ...). Reward = 1 - mean squared action error. DDPG must
+// drive average reward close to optimum.
+func TestDDPGLearnsOneStepControl(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StateDim = 2
+	cfg.ActionDim = 2
+	cfg.Seed = 3
+	a := New(cfg)
+	r := rand.New(rand.NewSource(4))
+
+	reward := func(s, act []float64) float64 {
+		d0 := act[0] - s[0]
+		d1 := act[1] + s[1]
+		return 1 - (d0*d0+d1*d1)/2
+	}
+	evalReward := func() float64 {
+		var sum float64
+		const n = 200
+		rr := rand.New(rand.NewSource(99))
+		for i := 0; i < n; i++ {
+			s := []float64{rr.Float64()*2 - 1, rr.Float64()*2 - 1}
+			sum += reward(s, a.Act(s))
+		}
+		return sum / n
+	}
+
+	before := evalReward()
+	for step := 0; step < 4000; step++ {
+		s := []float64{r.Float64()*2 - 1, r.Float64()*2 - 1}
+		act := a.ActExplore(s)
+		a.Observe(Transition{S: s, A: act, R: reward(s, act), S2: s, Done: true})
+		a.TrainStep()
+	}
+	after := evalReward()
+	if after < 0.9 {
+		t.Fatalf("DDPG failed to learn: reward %v -> %v", before, after)
+	}
+	if a.Updates == 0 {
+		t.Fatal("no training updates recorded")
+	}
+}
+
+// Multi-step task: agent must learn that actions have delayed consequences.
+// State is a scalar position; action nudges it; reward peaks at the origin.
+func TestDDPGLearnsMultiStep(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StateDim = 1
+	cfg.ActionDim = 1
+	cfg.Seed = 5
+	cfg.Gamma = 0.9
+	a := New(cfg)
+	r := rand.New(rand.NewSource(6))
+
+	episode := func(explore bool) float64 {
+		pos := r.Float64()*2 - 1
+		var total float64
+		a.ResetNoise()
+		for step := 0; step < 10; step++ {
+			s := []float64{pos}
+			var act []float64
+			if explore {
+				act = a.ActExplore(s)
+			} else {
+				act = a.Act(s)
+			}
+			pos += 0.5 * act[0]
+			if pos > 2 {
+				pos = 2
+			}
+			if pos < -2 {
+				pos = -2
+			}
+			rew := 1 - pos*pos
+			total += rew
+			if explore {
+				a.Observe(Transition{S: s, A: act, R: rew, S2: []float64{pos}, Done: step == 9})
+				a.TrainStep()
+			}
+		}
+		return total
+	}
+
+	for ep := 0; ep < 300; ep++ {
+		episode(true)
+	}
+	var avg float64
+	for ep := 0; ep < 30; ep++ {
+		avg += episode(false)
+	}
+	avg /= 30
+	if avg < 7.5 { // max 10; random policy scores ~5
+		t.Fatalf("multi-step return %v too low", avg)
+	}
+}
+
+func TestTransferFrom(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	src := New(cfg)
+	cfg.Seed = 8
+	dst := New(cfg)
+	s := make([]float64, 8)
+	for i := range s {
+		s[i] = 0.3
+	}
+	if same(src.Act(s), dst.Act(s)) {
+		t.Fatal("different seeds should differ before transfer")
+	}
+	if err := dst.TransferFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if !same(src.Act(s), dst.Act(s)) {
+		t.Fatal("transfer must copy the policy")
+	}
+	bad := New(Config{StateDim: 3, ActionDim: 5, Seed: 1})
+	if err := bad.TransferFrom(src); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	a := New(cfg)
+	snap, err := a.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 10
+	b := New(cfg)
+	s := make([]float64, 8)
+	for i := range s {
+		s[i] = -0.2
+	}
+	if same(a.Act(s), b.Act(s)) {
+		t.Fatal("sanity: different agents")
+	}
+	if err := b.Load(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !same(a.Act(s), b.Act(s)) {
+		t.Fatal("Load must restore the policy")
+	}
+	if err := b.Load(Snapshot{Actor: []byte("x"), Critic: snap.Critic}); err == nil {
+		t.Fatal("corrupt snapshot must error")
+	}
+}
+
+func TestQEvaluation(t *testing.T) {
+	a := New(DefaultConfig())
+	s := make([]float64, 8)
+	act := make([]float64, 5)
+	q1 := a.Q(s, act)
+	q2 := a.Q(s, act)
+	if q1 != q2 {
+		t.Fatal("Q must be deterministic")
+	}
+	if math.IsNaN(q1) || math.IsInf(q1, 0) {
+		t.Fatalf("Q = %v", q1)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	run := func() []float64 {
+		cfg := DefaultConfig()
+		cfg.StateDim = 2
+		cfg.ActionDim = 1
+		cfg.Seed = 11
+		a := New(cfg)
+		r := rand.New(rand.NewSource(12))
+		for i := 0; i < 500; i++ {
+			s := []float64{r.Float64(), r.Float64()}
+			act := a.ActExplore(s)
+			a.Observe(Transition{S: s, A: act, R: -act[0] * act[0], S2: s, Done: true})
+			a.TrainStep()
+		}
+		return a.Act([]float64{0.5, 0.5})
+	}
+	if !same(run(), run()) {
+		t.Fatal("training must be deterministic under fixed seeds")
+	}
+}
+
+func TestConfigDefaultsMatchTable4(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Gamma != 0.9 {
+		t.Fatalf("discount %v, Table 4 says 0.9", cfg.Gamma)
+	}
+	if cfg.ActorLR != 3e-4 || cfg.CriticLR != 3e-3 {
+		t.Fatalf("lr %v/%v, Table 4 says 3e-4/3e-3", cfg.ActorLR, cfg.CriticLR)
+	}
+	if cfg.BufferCap != 100000 {
+		t.Fatalf("buffer %d, Table 4 says 1e5", cfg.BufferCap)
+	}
+	if cfg.BatchSize != 64 {
+		t.Fatalf("batch %d, Table 4 says 64", cfg.BatchSize)
+	}
+	if cfg.StateDim != 8 || cfg.ActionDim != 5 || cfg.Hidden != 40 {
+		t.Fatal("network shape must match §3.4 (8 inputs, 5 outputs, 40 hidden)")
+	}
+}
+
+func same(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate on which the FIRM reproduction runs: cluster
+// nodes, containers, workload generators, the anomaly injector, and the FIRM
+// control loop are all scheduled as events on a single logical clock. Using
+// a single-threaded event heap (rather than goroutines) keeps every
+// experiment bit-for-bit reproducible under a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is simulated time measured in microseconds since the start of the
+// simulation. Microsecond resolution matches the span timestamps produced by
+// distributed tracing systems such as Jaeger, which FIRM's tracing module is
+// modelled on.
+type Time int64
+
+// Common durations expressed in simulated microseconds.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Duration converts t to a time.Duration (1 sim µs = 1 real µs).
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+// String renders the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMillis converts floating-point milliseconds to a Time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// Event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (FIFO), which the seq field enforces.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator with a deterministic RNG.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	nSteps uint64
+}
+
+// NewEngine returns an engine whose random stream is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream. All model-level
+// randomness (service-time noise, workload interarrival, anomaly selection)
+// must come from this stream or from a stream derived from it so that runs
+// are reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps reports how many events have been executed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Pending reports how many events are currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay. A negative delay is treated as zero (fire as
+// soon as possible, after already-queued events at the current instant).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the absolute simulated time at. Times in the past
+// are clamped to "now".
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.nSteps++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the clock reaches t (inclusive of events at
+// exactly t) or the event queue drains. The clock is left at t if it was
+// reached, otherwise at the last event time.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Drain runs until no events remain or maxEvents have executed, returning
+// the number executed. It guards against runaway self-rescheduling loops.
+func (e *Engine) Drain(maxEvents uint64) uint64 {
+	var n uint64
+	for n < maxEvents && e.Step() {
+		n++
+	}
+	return n
+}
+
+// Ticker repeatedly invokes fn every period until Stop is called. The first
+// invocation happens one period after Start.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	stopped bool
+}
+
+// NewTicker creates (but does not start) a ticker.
+func NewTicker(eng *Engine, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	return &Ticker{eng: eng, period: period, fn: fn}
+}
+
+// Start schedules the ticker's first tick.
+func (t *Ticker) Start() { t.schedule() }
+
+// Stop prevents any future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() { t.stopped = true }
+
+func (t *Ticker) schedule() {
+	t.eng.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		t.schedule()
+	})
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "math/rand"
+
+// Stream derives an independent deterministic RNG from a parent seed and a
+// label hash. Components that need their own randomness (workload generator,
+// injector, RL exploration noise) take a Stream so that adding events to one
+// component does not perturb the random sequence observed by another.
+func Stream(seed int64, label string) *rand.Rand {
+	h := uint64(seed)
+	for _, c := range label {
+		h = h*1099511628211 + uint64(c) // FNV-1a style mixing
+	}
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// Exponential draws an exponentially distributed duration with the given
+// mean. It is used for Poisson arrival processes and the anomaly-injection
+// inter-arrival distribution (the paper uses λ=0.33 s⁻¹).
+func Exponential(r *rand.Rand, mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	return Time(r.ExpFloat64() * float64(mean))
+}
+
+// NormalClamped draws from N(mean, sd) truncated at lo and hi.
+func NormalClamped(r *rand.Rand, mean, sd, lo, hi float64) float64 {
+	v := r.NormFloat64()*sd + mean
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}

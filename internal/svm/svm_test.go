@@ -1,0 +1,220 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"firm/internal/stats"
+)
+
+// linearSet builds a linearly separable 2-D dataset: y = +1 iff x0+x1 > 1.
+func linearSet(r *rand.Rand, n int) (xs [][]float64, ys []float64) {
+	for i := 0; i < n; i++ {
+		x := []float64{r.Float64() * 2, r.Float64() * 2}
+		y := -1.0
+		if x[0]+x[1] > 1 {
+			y = 1.0
+		}
+		// Margin gap to make it cleanly separable.
+		if math.Abs(x[0]+x[1]-1) < 0.15 {
+			i--
+			continue
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys
+}
+
+// ringSet builds a radially separable dataset: +1 inside the unit circle —
+// not linearly separable, requires the RBF feature map.
+func ringSet(r *rand.Rand, n int) (xs [][]float64, ys []float64) {
+	for i := 0; i < n; i++ {
+		x := []float64{r.NormFloat64(), r.NormFloat64()}
+		d := math.Hypot(x[0], x[1])
+		if d > 0.8 && d < 1.2 { // margin gap
+			i--
+			continue
+		}
+		y := -1.0
+		if d <= 0.8 {
+			y = 1.0
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys
+}
+
+func TestLinearSeparable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs, ys := linearSet(r, 400)
+	cfg := DefaultConfig()
+	cfg.Features = 0 // pure linear
+	s := New(cfg)
+	if err := s.FitBatch(xs, ys, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := s.Accuracy(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.97 {
+		t.Fatalf("linear accuracy = %v, want >= 0.97", acc)
+	}
+}
+
+func TestRBFSolvesNonlinear(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs, ys := ringSet(r, 600)
+
+	lin := New(Config{InputDim: 2, LR: 0.05, Reg: 1e-4})
+	lin.FitBatch(xs, ys, 30, 1)
+	accLin, _ := lin.Accuracy(xs, ys)
+
+	rbf := New(Config{InputDim: 2, Features: 128, Gamma: 1.5, LR: 0.05, Reg: 1e-4, Seed: 3})
+	rbf.FitBatch(xs, ys, 30, 1)
+	accRBF, _ := rbf.Accuracy(xs, ys)
+
+	if accRBF < 0.9 {
+		t.Fatalf("RBF accuracy = %v, want >= 0.9", accRBF)
+	}
+	if accRBF <= accLin {
+		t.Fatalf("RBF (%v) must beat linear (%v) on the ring set", accRBF, accLin)
+	}
+}
+
+func TestIncrementalLearning(t *testing.T) {
+	// Online Fit (one pass, example at a time) should still reach a usable
+	// decision boundary — the Extractor trains this way.
+	r := rand.New(rand.NewSource(4))
+	xs, ys := linearSet(r, 2000)
+	s := New(DefaultConfig())
+	for i := range xs {
+		if err := s.Fit(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, _ := s.Accuracy(xs, ys)
+	if acc < 0.9 {
+		t.Fatalf("online accuracy = %v", acc)
+	}
+	if s.Seen() != uint64(len(xs)) {
+		t.Fatalf("seen = %d", s.Seen())
+	}
+}
+
+func TestRFFApproximatesRBFKernel(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	gamma := 0.7
+	rf := NewRFF(r, 3, 4096, gamma)
+	maxErr := 0.0
+	for trial := 0; trial < 30; trial++ {
+		x := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		y := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		zx, zy := rf.Map(x), rf.Map(y)
+		var dot, d2 float64
+		for i := range zx {
+			dot += zx[i] * zy[i]
+		}
+		for i := range x {
+			d := x[i] - y[i]
+			d2 += d * d
+		}
+		want := math.Exp(-gamma * d2)
+		if e := math.Abs(dot - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.08 {
+		t.Fatalf("RFF kernel approximation error %v too large", maxErr)
+	}
+}
+
+func TestDecisionErrors(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Decision([]float64{1}); err != ErrBadInput {
+		t.Fatal("dimension mismatch must error")
+	}
+	if err := s.Fit([]float64{1, 2}, 0.5); err == nil {
+		t.Fatal("bad label must error")
+	}
+	if err := s.Fit([]float64{1}, 1); err != ErrBadInput {
+		t.Fatal("fit dimension mismatch must error")
+	}
+	if err := s.FitBatch([][]float64{{1, 2}}, []float64{1, -1}, 1, 1); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := s.Accuracy(nil, nil); err == nil {
+		t.Fatal("empty accuracy must error")
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	xs, ys := linearSet(r, 400)
+	s := New(DefaultConfig())
+	s.FitBatch(xs, ys, 40, 1)
+	ths := make([]float64, 41)
+	for i := range ths {
+		ths[i] = -2 + float64(i)*0.1
+	}
+	fpr, tpr, err := s.ROC(xs, ys, ths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := stats.AUC(fpr, tpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.97 {
+		t.Fatalf("AUC = %v, want near 1 on separable data", auc)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	s := New(DefaultConfig())
+	fpr, tpr, err := s.ROC([][]float64{{0, 0}, {1, 1}}, []float64{-1, 1}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpr[0] != 1 || tpr[0] != 1 || fpr[len(fpr)-1] != 0 || tpr[len(tpr)-1] != 0 {
+		t.Fatalf("ROC endpoints missing: %v %v", fpr, tpr)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	r1 := rand.New(rand.NewSource(7))
+	xs, ys := linearSet(r1, 200)
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	a.FitBatch(xs, ys, 5, 9)
+	b.FitBatch(xs, ys, 5, 9)
+	for i := 0; i < 20; i++ {
+		x := []float64{float64(i) * 0.1, 1 - float64(i)*0.1}
+		da, _ := a.Decision(x)
+		db, _ := b.Decision(x)
+		if da != db {
+			t.Fatal("same seed must give identical models")
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(Config{InputDim: 0})
+}
+
+func TestNewRFFPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewRFF(rand.New(rand.NewSource(1)), 2, 0, 1)
+}

@@ -1,0 +1,287 @@
+// Package telemetry reproduces FIRM's monitoring plane (§3.1, Table 2):
+// per-container resource-utilization counters (the cAdvisor/Prometheus
+// metrics), node-level hardware counters (the perf offcore DRAM-access
+// proxies), and workload meters (request arrival rate and composition) that
+// feed the RL agent's state vector.
+package telemetry
+
+import (
+	"sort"
+
+	"firm/internal/cluster"
+	"firm/internal/sim"
+)
+
+// Sample is one per-container observation.
+type Sample struct {
+	At       sim.Time
+	Util     cluster.Vector // Usage/Limits per resource (RU of Table 3)
+	Usage    cluster.Vector // absolute demand rates
+	Limits   cluster.Vector // current RLT
+	QueueLen int
+	Busy     int
+}
+
+// NodeSample is one per-node observation (Fig. 1's lower panels).
+type NodeSample struct {
+	At           sim.Time
+	Util         cluster.Vector
+	PerCoreDRAM  float64 // offcore_response..local_DRAM proxy
+	CPUAllocated float64
+}
+
+type series struct {
+	samples []Sample
+	cap     int
+}
+
+func (s *series) add(x Sample) {
+	s.samples = append(s.samples, x)
+	if len(s.samples) > s.cap {
+		s.samples = s.samples[len(s.samples)-s.cap:]
+	}
+}
+
+// Collector samples container and node telemetry on a fixed interval.
+type Collector struct {
+	eng      *sim.Engine
+	cl       *cluster.Cluster
+	interval sim.Time
+	capPer   int
+
+	containers map[string]*series
+	nodes      map[string][]NodeSample
+	ticker     *sim.Ticker
+}
+
+// NewCollector creates a collector sampling every interval, retaining up to
+// keep samples per container/node.
+func NewCollector(eng *sim.Engine, cl *cluster.Cluster, interval sim.Time, keep int) *Collector {
+	if interval <= 0 {
+		panic("telemetry: non-positive interval")
+	}
+	if keep <= 0 {
+		keep = 600
+	}
+	c := &Collector{
+		eng: eng, cl: cl, interval: interval, capPer: keep,
+		containers: make(map[string]*series),
+		nodes:      make(map[string][]NodeSample),
+	}
+	c.ticker = sim.NewTicker(eng, interval, c.sample)
+	return c
+}
+
+// Start begins sampling.
+func (c *Collector) Start() { c.ticker.Start() }
+
+// Stop halts sampling.
+func (c *Collector) Stop() { c.ticker.Stop() }
+
+// Interval returns the sampling period.
+func (c *Collector) Interval() sim.Time { return c.interval }
+
+func (c *Collector) sample() {
+	now := c.eng.Now()
+	for _, rs := range c.cl.ReplicaSets() {
+		for _, ct := range rs.Containers() {
+			s, ok := c.containers[ct.ID]
+			if !ok {
+				s = &series{cap: c.capPer}
+				c.containers[ct.ID] = s
+			}
+			s.add(Sample{
+				At:       now,
+				Util:     ct.Utilization(),
+				Usage:    ct.Usage(),
+				Limits:   ct.Limits(),
+				QueueLen: ct.QueueLen(),
+				Busy:     ct.Busy(),
+			})
+		}
+	}
+	for _, n := range c.cl.Nodes() {
+		ns := c.nodes[n.ID]
+		ns = append(ns, NodeSample{
+			At:           now,
+			Util:         n.Utilization(),
+			PerCoreDRAM:  n.PerCoreDRAMAccess(),
+			CPUAllocated: n.CPUAllocated(),
+		})
+		if len(ns) > c.capPer {
+			ns = ns[len(ns)-c.capPer:]
+		}
+		c.nodes[n.ID] = ns
+	}
+}
+
+// Latest returns the most recent sample for a container instance.
+func (c *Collector) Latest(instance string) (Sample, bool) {
+	s, ok := c.containers[instance]
+	if !ok || len(s.samples) == 0 {
+		return Sample{}, false
+	}
+	return s.samples[len(s.samples)-1], true
+}
+
+// Window returns samples for instance with At >= since.
+func (c *Collector) Window(instance string, since sim.Time) []Sample {
+	s, ok := c.containers[instance]
+	if !ok {
+		return nil
+	}
+	idx := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At >= since })
+	return append([]Sample(nil), s.samples[idx:]...)
+}
+
+// MeanUtil averages utilization across a window for instance.
+func (c *Collector) MeanUtil(instance string, since sim.Time) (cluster.Vector, bool) {
+	w := c.Window(instance, since)
+	if len(w) == 0 {
+		return cluster.Vector{}, false
+	}
+	var sum cluster.Vector
+	for _, s := range w {
+		sum = sum.Add(s.Util)
+	}
+	return sum.Scale(1 / float64(len(w))), true
+}
+
+// NodeWindow returns node samples with At >= since.
+func (c *Collector) NodeWindow(nodeID string, since sim.Time) []NodeSample {
+	ns := c.nodes[nodeID]
+	idx := sort.Search(len(ns), func(i int) bool { return ns[i].At >= since })
+	return append([]NodeSample(nil), ns[idx:]...)
+}
+
+// Meter tracks request arrivals: rate (req/s) and composition per type.
+// It supplies the WC (workload change) and RC (request composition) state
+// features of Table 3.
+type Meter struct {
+	eng      *sim.Engine
+	window   sim.Time
+	arrivals []arrival
+	types    []string
+	index    map[string]int
+}
+
+type arrival struct {
+	at  sim.Time
+	typ int
+}
+
+// NewMeter creates a meter with the given sliding-window length. types fixes
+// the request-type universe so composition encoding is stable.
+func NewMeter(eng *sim.Engine, window sim.Time, types []string) *Meter {
+	if window <= 0 {
+		panic("telemetry: non-positive meter window")
+	}
+	m := &Meter{eng: eng, window: window, types: append([]string(nil), types...),
+		index: make(map[string]int)}
+	for i, t := range m.types {
+		m.index[t] = i
+	}
+	return m
+}
+
+// Record notes one arrival of the given request type.
+func (m *Meter) Record(reqType string) {
+	idx, ok := m.index[reqType]
+	if !ok {
+		idx = -1
+	}
+	m.arrivals = append(m.arrivals, arrival{at: m.eng.Now(), typ: idx})
+	m.gc()
+}
+
+func (m *Meter) gc() {
+	cutoff := m.eng.Now() - 2*m.window
+	i := 0
+	for i < len(m.arrivals) && m.arrivals[i].at < cutoff {
+		i++
+	}
+	m.arrivals = m.arrivals[i:]
+}
+
+// Rate returns arrivals per second over the most recent window.
+func (m *Meter) Rate() float64 {
+	m.gc()
+	now := m.eng.Now()
+	cutoff := now - m.window
+	n := 0
+	for _, a := range m.arrivals {
+		if a.at >= cutoff {
+			n++
+		}
+	}
+	return float64(n) / m.window.Seconds()
+}
+
+// PrevRate returns arrivals per second for the window before the current
+// one, enabling the WC = rate_t/rate_{t-1} feature.
+func (m *Meter) PrevRate() float64 {
+	m.gc()
+	now := m.eng.Now()
+	lo, hi := now-2*m.window, now-m.window
+	n := 0
+	for _, a := range m.arrivals {
+		if a.at >= lo && a.at < hi {
+			n++
+		}
+	}
+	return float64(n) / m.window.Seconds()
+}
+
+// WorkloadChange returns rate_t / rate_{t-1}, 1 when the previous window is
+// empty (no signal).
+func (m *Meter) WorkloadChange() float64 {
+	prev := m.PrevRate()
+	if prev == 0 {
+		return 1
+	}
+	return m.Rate() / prev
+}
+
+// Composition returns the request-type shares over the current window,
+// indexed like the types slice passed to NewMeter.
+func (m *Meter) Composition() []float64 {
+	m.gc()
+	now := m.eng.Now()
+	cutoff := now - m.window
+	counts := make([]float64, len(m.types))
+	total := 0.0
+	for _, a := range m.arrivals {
+		if a.at >= cutoff && a.typ >= 0 {
+			counts[a.typ]++
+			total++
+		}
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}
+
+// CompositionCode encodes the composition as a single value in [0,1] — the
+// reproduction of the paper's numpy.ravel_multi_index trick: each share is
+// quantized to q levels and the digit vector is flattened into a mixed-radix
+// index, then normalized.
+func (m *Meter) CompositionCode(q int) float64 {
+	if q < 2 {
+		q = 2
+	}
+	shares := m.Composition()
+	idx, radix := 0.0, 1.0
+	for _, s := range shares {
+		level := int(s * float64(q-1) * 0.999999)
+		idx += float64(level) * radix
+		radix *= float64(q)
+	}
+	maxIdx := radix - 1
+	if maxIdx <= 0 {
+		return 0
+	}
+	return idx / maxIdx
+}

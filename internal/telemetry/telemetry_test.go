@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"firm/internal/cluster"
+	"firm/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *cluster.Cluster, *cluster.Container) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.NoiseSD = 0
+	cl := cluster.New(eng, cfg)
+	cl.AddNode(cluster.XeonProfile)
+	rs, err := cl.DeployService("svc", 1, cluster.V(2, 1000, 4, 100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cl, rs.Pick()
+}
+
+func TestCollectorSamples(t *testing.T) {
+	eng, cl, c := setup(t)
+	col := NewCollector(eng, cl, 100*sim.Millisecond, 100)
+	col.Start()
+	c.Submit(cluster.Work{Base: sim.Second, Demand: cluster.V(1, 500, 1, 0, 0)})
+	eng.RunUntil(sim.FromMillis(550))
+	s, ok := col.Latest(c.ID)
+	if !ok {
+		t.Fatal("no sample")
+	}
+	if math.Abs(s.Util[cluster.CPU]-0.5) > 1e-9 {
+		t.Fatalf("cpu util %v, want 0.5", s.Util[cluster.CPU])
+	}
+	if s.Busy != 1 {
+		t.Fatalf("busy = %d", s.Busy)
+	}
+	w := col.Window(c.ID, 0)
+	if len(w) != 5 {
+		t.Fatalf("window has %d samples, want 5", len(w))
+	}
+	w2 := col.Window(c.ID, sim.FromMillis(300))
+	if len(w2) != 3 {
+		t.Fatalf("since-filtered window: %d, want 3", len(w2))
+	}
+	col.Stop()
+	eng.RunUntil(2 * sim.Second)
+	after := col.Window(c.ID, 0)
+	if len(after) != 5 {
+		t.Fatal("collector sampled after Stop")
+	}
+}
+
+func TestMeanUtil(t *testing.T) {
+	eng, cl, c := setup(t)
+	col := NewCollector(eng, cl, 100*sim.Millisecond, 100)
+	col.Start()
+	c.Submit(cluster.Work{Base: sim.Second, Demand: cluster.V(1, 500, 0, 0, 0)})
+	eng.RunUntil(sim.FromMillis(450))
+	mu, ok := col.MeanUtil(c.ID, 0)
+	if !ok {
+		t.Fatal("no mean")
+	}
+	if math.Abs(mu[cluster.MemBW]-0.5) > 1e-9 {
+		t.Fatalf("mean membw util = %v", mu[cluster.MemBW])
+	}
+	if _, ok := col.MeanUtil("nope", 0); ok {
+		t.Fatal("unknown instance must report no data")
+	}
+}
+
+func TestNodeSamples(t *testing.T) {
+	eng, cl, c := setup(t)
+	col := NewCollector(eng, cl, 100*sim.Millisecond, 100)
+	col.Start()
+	c.Submit(cluster.Work{Base: sim.Second, Demand: cluster.V(1, 800, 0, 0, 0)})
+	eng.RunUntil(sim.FromMillis(350))
+	ns := col.NodeWindow(cl.Nodes()[0].ID, 0)
+	if len(ns) == 0 {
+		t.Fatal("no node samples")
+	}
+	if ns[len(ns)-1].PerCoreDRAM <= 0 {
+		t.Fatal("per-core DRAM proxy should be positive under load")
+	}
+	if ns[len(ns)-1].CPUAllocated != 2 {
+		t.Fatalf("cpu allocated = %v", ns[len(ns)-1].CPUAllocated)
+	}
+}
+
+func TestSeriesBounded(t *testing.T) {
+	eng, cl, c := setup(t)
+	col := NewCollector(eng, cl, 10*sim.Millisecond, 5)
+	col.Start()
+	eng.RunUntil(sim.Second)
+	if n := len(col.Window(c.ID, 0)); n != 5 {
+		t.Fatalf("series grew to %d, cap 5", n)
+	}
+}
+
+func TestMeterRateAndChange(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, sim.Second, []string{"a", "b"})
+	// 10 arrivals in the first second, 20 in the second.
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*100*sim.Millisecond, func() { m.Record("a") })
+	}
+	for i := 0; i < 20; i++ {
+		i := i
+		eng.Schedule(sim.Second+sim.Time(i)*50*sim.Millisecond, func() { m.Record("b") })
+	}
+	eng.RunUntil(2 * sim.Second)
+	if r := m.Rate(); math.Abs(r-20) > 1.01 {
+		t.Fatalf("rate = %v, want ≈20", r)
+	}
+	if p := m.PrevRate(); math.Abs(p-10) > 1.01 {
+		t.Fatalf("prev rate = %v, want ≈10", p)
+	}
+	wc := m.WorkloadChange()
+	if wc < 1.5 || wc > 2.5 {
+		t.Fatalf("workload change = %v, want ≈2", wc)
+	}
+}
+
+func TestMeterWorkloadChangeNoHistory(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, sim.Second, []string{"a"})
+	if m.WorkloadChange() != 1 {
+		t.Fatal("no history must yield WC=1")
+	}
+}
+
+func TestMeterComposition(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, sim.Second, []string{"a", "b"})
+	for i := 0; i < 30; i++ {
+		typ := "a"
+		if i%3 == 0 {
+			typ = "b"
+		}
+		tt, i := typ, i
+		eng.Schedule(sim.Time(i)*10*sim.Millisecond, func() { m.Record(tt) })
+	}
+	eng.RunUntil(500 * sim.Millisecond)
+	comp := m.Composition()
+	if len(comp) != 2 {
+		t.Fatalf("composition len %d", len(comp))
+	}
+	if math.Abs(comp[0]-2.0/3) > 0.05 || math.Abs(comp[1]-1.0/3) > 0.05 {
+		t.Fatalf("composition = %v", comp)
+	}
+	code := m.CompositionCode(8)
+	if code < 0 || code > 1 {
+		t.Fatalf("composition code %v out of [0,1]", code)
+	}
+	// Unknown types are ignored.
+	m.Record("zzz")
+	comp2 := m.Composition()
+	if math.Abs(comp2[0]+comp2[1]-1) > 1e-9 {
+		t.Fatalf("unknown type leaked into composition: %v", comp2)
+	}
+}
+
+func TestCompositionCodeDistinguishesMixes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mk := func(aShare float64) float64 {
+		m := NewMeter(eng, sim.Second, []string{"a", "b"})
+		for i := 0; i < 100; i++ {
+			typ := "b"
+			if float64(i) < aShare*100 {
+				typ = "a"
+			}
+			m.Record(typ)
+		}
+		return m.CompositionCode(16)
+	}
+	if mk(0.9) == mk(0.1) {
+		t.Fatal("different mixes must encode differently")
+	}
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mustPanic := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("want panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { NewCollector(eng, nil, 0, 10) })
+	mustPanic(func() { NewMeter(eng, 0, nil) })
+}

@@ -1,0 +1,49 @@
+package topology
+
+// HotelReservation builds the DeathStarBench Hotel Reservation application:
+// an online site for browsing hotel information and making reservations.
+// 15 unique microservices (the smallest of the four benchmarks).
+func HotelReservation() *Spec {
+	b := newBuilder("hotel-reservation")
+
+	frontend := b.svc("frontend", Web)
+	search := b.svc("search", Logic)
+	geo := b.svc("geo", Logic)
+	rate := b.svc("rate", Logic)
+	reserve := b.svc("reservation", Logic)
+	profile := b.svc("profile", Logic)
+	recommend := b.svc("recommendation", Logic)
+	user := b.svc("user", Logic)
+
+	b.storagePair("profile") // profile-memcached, profile-mongodb
+	b.storagePair("rate")    // rate-memcached, rate-mongodb
+	b.storagePair("reservation")
+	b.svc("geo-mongodb", DB)
+
+	// search-hotels: geo + rate in parallel under search, then profiles.
+	b.endpoint("search-hotels", 0.55, b.call(frontend, ms(0.6),
+		Child{Seq, b.call(search, ms(2.5),
+			Child{Par, b.call(geo, ms(3),
+				Child{Seq, b.call("geo-mongodb", ms(6))})},
+			Child{Par, b.call(rate, ms(2.5), b.cached("rate", ms(1.0), ms(6))...)},
+		)},
+		Child{Seq, b.call(profile, ms(2.5), b.cached("profile", ms(1.1), ms(6))...)},
+	))
+
+	// recommend: recommendation path with profile hydration.
+	b.endpoint("recommend", 0.20, b.call(frontend, ms(0.5),
+		Child{Seq, b.call(recommend, ms(4))},
+		Child{Seq, b.call(profile, ms(2.5), b.cached("profile", ms(1.1), ms(6))...)},
+	))
+
+	// reserve: user auth sequential, then reservation write with a
+	// background rate-cache refresh.
+	b.endpoint("reserve", 0.25, b.call(frontend, ms(0.6),
+		Child{Seq, b.call(user, ms(2))},
+		Child{Seq, b.call(reserve, ms(3.5),
+			append(b.cached("reservation", ms(1.0), ms(7)),
+				Child{Background, b.call(rate, ms(2), b.cached("rate", ms(1.0), ms(6))...)})...)},
+	))
+
+	return b.spec
+}

@@ -1,0 +1,95 @@
+package topology
+
+// MediaService builds the DeathStarBench Media Service application:
+// reviewing, rating, renting, and streaming movies. 38 unique microservices.
+func MediaService() *Spec {
+	b := newBuilder("media-service")
+
+	nginx := b.svc("nginx", Web)
+	gateway := b.svc("api-gateway", Web)
+
+	// Front business logic.
+	login := b.svc("login", Logic)
+	userSvc := b.svc("user", Logic)
+	composeReview := b.svc("compose-review", Logic)
+	reviewStorage := b.svc("review-storage", Logic)
+	userReview := b.svc("user-review", Logic)
+	movieReview := b.svc("movie-review", Logic)
+	movieID := b.svc("movie-id", Logic)
+	movieInfo := b.svc("movie-info", Logic)
+	castInfo := b.svc("cast-info", Logic)
+	plot := b.svc("plot", Logic)
+	rating := b.svc("rating", Logic)
+	text := b.svc("text", Logic)
+	uniqueID := b.svc("unique-id", Logic)
+	videoStream := b.svc("video-streaming", Media)
+	photos := b.svc("photos", Media)
+	rental := b.svc("rental", Logic)
+	payment := b.svc("payment", Logic)
+	recommender := b.svc("recommender", Logic)
+	search := b.svc("search", Logic)
+	pageSvc := b.svc("page", Logic)
+
+	// Storage tiers.
+	b.storagePair("review-storage")
+	b.storagePair("movie-info")
+	b.storagePair("cast-info")
+	b.storagePair("plot")
+	b.storagePair("rating")
+	b.storagePair("user")
+	b.storagePair("rental")
+	b.svc("payment-mongodb", DB)
+	b.svc("search-index", Logic)
+
+	// compose-review: write path with parallel metadata validation and a
+	// background propagation to rating aggregates.
+	b.endpoint("compose-review", 0.20, b.call(nginx, ms(0.6),
+		Child{Seq, b.call(gateway, ms(0.8))},
+		Child{Par, b.call(text, ms(6))},
+		Child{Par, b.call(movieID, ms(2.5))},
+		Child{Par, b.call(userSvc, ms(2), b.cached("user", ms(0.9), ms(5))...)},
+		Child{Seq, b.call(uniqueID, ms(1.2))},
+		Child{Seq, b.call(composeReview, ms(5),
+			Child{Seq, b.call(reviewStorage, ms(2), b.cached("review-storage", ms(1.1), ms(6))...)},
+			Child{Background, b.call(rating, ms(2.5), b.cached("rating", ms(0.9), ms(5))...)},
+		)},
+	))
+
+	// read-page: movie page scatter-gather (info, cast, plot, reviews,
+	// rating, photos in parallel).
+	b.endpoint("read-page", 0.45, b.call(nginx, ms(0.5),
+		Child{Seq, b.call(pageSvc, ms(1.5))},
+		Child{Par, b.call(movieInfo, ms(2.5), b.cached("movie-info", ms(1.1), ms(6))...)},
+		Child{Par, b.call(castInfo, ms(2), b.cached("cast-info", ms(1.0), ms(5))...)},
+		Child{Par, b.call(plot, ms(2), b.cached("plot", ms(1.0), ms(5))...)},
+		Child{Par, b.call(movieReview, ms(3), b.cached("review-storage", ms(1.1), ms(6))...)},
+		Child{Par, b.call(rating, ms(1.8), b.cached("rating", ms(0.9), ms(5))...)},
+		Child{Par, b.call(photos, ms(10))},
+	))
+
+	// stream-video: rent + stream, payment sequential, streaming media-heavy.
+	b.endpoint("stream-video", 0.15, b.call(nginx, ms(0.5),
+		Child{Seq, b.call(login, ms(2.5), b.cached("user", ms(0.9), ms(5))...)},
+		Child{Seq, b.call(rental, ms(3), b.cached("rental", ms(1.0), ms(6))...)},
+		Child{Seq, b.call(payment, ms(4),
+			Child{Seq, b.call("payment-mongodb", ms(7))})},
+		Child{Seq, b.call(videoStream, ms(20))},
+	))
+
+	// user-reviews: a user's review history.
+	b.endpoint("user-reviews", 0.12, b.call(nginx, ms(0.5),
+		Child{Seq, b.call(userReview, ms(3), b.cached("review-storage", ms(1.1), ms(6))...)},
+		Child{Par, b.call(userSvc, ms(2), b.cached("user", ms(0.9), ms(5))...)},
+		Child{Par, b.call(recommender, ms(4))},
+	))
+
+	// search: index lookup then parallel hydration.
+	b.endpoint("search", 0.08, b.call(nginx, ms(0.5),
+		Child{Seq, b.call(search, ms(2.5),
+			Child{Seq, b.call("search-index", ms(5))})},
+		Child{Par, b.call(movieInfo, ms(2.5), b.cached("movie-info", ms(1.1), ms(6))...)},
+		Child{Par, b.call(photos, ms(8))},
+	))
+
+	return b.spec
+}

@@ -1,0 +1,29 @@
+package topology
+
+import "fmt"
+
+// All returns the four benchmark applications evaluated in the paper, in the
+// order they appear in §4.1.
+func All() []*Spec {
+	return []*Spec{SocialNetwork(), MediaService(), HotelReservation(), TrainTicket()}
+}
+
+// ByName returns the named benchmark spec.
+func ByName(name string) (*Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: unknown benchmark %q", name)
+}
+
+// Names lists benchmark names.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package topology
+
+// SocialNetwork builds the DeathStarBench Social Network application
+// (Fig. 2(a)): a broadcast-style social network with unidirectional follow
+// relationships where users publish, read, and react to posts. 36 unique
+// microservices.
+//
+// The compose-post endpoint reproduces the execution history graph of
+// Fig. 2(b): nginx fans out to video (V), userTag (U) and text (T) in
+// parallel, uniqueID (I) runs sequentially after userTag, composePost (C)
+// aggregates, and writeTimeline (W) runs in the background.
+func SocialNetwork() *Spec {
+	b := newBuilder("social-network")
+
+	nginx := b.svc("nginx", Web)
+
+	video := b.svc("video", Media)
+	image := b.svc("image", Media)
+	text := b.svc("text", Logic)
+	userTag := b.svc("user-tag", Logic)
+	uniqueID := b.svc("unique-id", Logic)
+	urlShorten := b.svc("url-shorten", Logic)
+	compose := b.svc("compose-post", Logic)
+	postStorage := b.svc("post-storage", Logic)
+	writeTimeline := b.svc("write-timeline", Logic)
+	writeGraph := b.svc("write-graph", Logic)
+	readTimeline := b.svc("read-timeline", Logic)
+	readPost := b.svc("read-post", Logic)
+	userInfo := b.svc("user-info", Logic)
+	login := b.svc("login", Logic)
+	followUser := b.svc("follow-user", Logic)
+	recommender := b.svc("recommender", Logic)
+	favorite := b.svc("favorite", Logic)
+	search := b.svc("search", Logic)
+	blockedUser := b.svc("blocked-user", Logic)
+	ads := b.svc("ads", Logic)
+	index0 := b.svc("index0", Logic)
+	index1 := b.svc("index1", Logic)
+	index2 := b.svc("index2", Logic)
+
+	// Storage tiers (memcached + mongodb pairs), as in Fig. 2(a).
+	b.storagePair("post-storage")   // post-storage-memcached/-mongodb
+	b.storagePair("read-timeline")  // timeline cache/db
+	b.storagePair("user-info")      // user profile cache/db
+	b.storagePair("write-timeline") // home timeline fan-out store
+	b.storagePair("write-graph")    // social graph store
+	b.storagePair("login")          // credential store
+
+	// compose-post: the Fig. 2(b) request. N → {V ∥ (U;I) ∥ T} → C → W(bg).
+	composeCall := b.call(compose, ms(6),
+		Child{Seq, b.call(postStorage, ms(2), b.cached("post-storage", ms(1.0), ms(6))...)},
+		Child{Background, b.call(writeTimeline, ms(3),
+			append(b.cached("write-timeline", ms(1.2), ms(7)),
+				Child{Seq, b.call(writeGraph, ms(2.5), b.cached("write-graph", ms(1.0), ms(6))...)})...)},
+	)
+	b.endpoint("compose-post", 0.30, b.call(nginx, ms(0.6),
+		Child{Par, b.call(video, ms(16))},
+		Child{Par, b.call(userTag, ms(5),
+			Child{Seq, b.call(uniqueID, ms(1.5))})},
+		Child{Par, b.call(text, ms(7),
+			Child{Seq, b.call(urlShorten, ms(2))})},
+		Child{Seq, composeCall},
+	))
+
+	// read-timeline: fetch home timeline, hydrate posts in parallel.
+	b.endpoint("read-timeline", 0.40, b.call(nginx, ms(0.5),
+		Child{Seq, b.call(readTimeline, ms(3), b.cached("read-timeline", ms(1.4), ms(8))...)},
+		Child{Par, b.call(readPost, ms(3), b.cached("post-storage", ms(1.2), ms(7))...)},
+		Child{Par, b.call(userInfo, ms(2), b.cached("user-info", ms(1.0), ms(5))...)},
+		Child{Par, b.call(ads, ms(2.5))},
+	))
+
+	// read-post: single post with media, blocked-user check sequential.
+	b.endpoint("read-post", 0.15, b.call(nginx, ms(0.5),
+		Child{Seq, b.call(blockedUser, ms(1.5))},
+		Child{Seq, b.call(readPost, ms(3), b.cached("post-storage", ms(1.2), ms(7))...)},
+		Child{Par, b.call(image, ms(12))},
+		Child{Par, b.call(favorite, ms(1.5))},
+	))
+
+	// login: credential check then recommendations/follows in parallel.
+	b.endpoint("login", 0.10, b.call(nginx, ms(0.5),
+		Child{Seq, b.call(login, ms(3), b.cached("login", ms(0.8), ms(5))...)},
+		Child{Par, b.call(recommender, ms(4))},
+		Child{Par, b.call(followUser, ms(2))},
+		Child{Seq, b.call(userInfo, ms(2), b.cached("user-info", ms(1.0), ms(5))...)},
+	))
+
+	// search: fan out to index shards in parallel (scatter-gather).
+	b.endpoint("search", 0.05, b.call(nginx, ms(0.5),
+		Child{Seq, b.call(search, ms(2))},
+		Child{Par, b.call(index0, ms(6))},
+		Child{Par, b.call(index1, ms(6))},
+		Child{Par, b.call(index2, ms(6))},
+		Child{Seq, b.call(ads, ms(2.5))},
+	))
+
+	return b.spec
+}

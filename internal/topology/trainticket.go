@@ -1,0 +1,159 @@
+package topology
+
+// TrainTicket builds the Train-Ticket booking system benchmark (FudanSELab):
+// ticket enquiry, reservation, payment, change/rebook, and user
+// notification. 41 unique microservices — the largest of the four apps —
+// with deep sequential chains, which is characteristic of this benchmark.
+func TrainTicket() *Spec {
+	b := newBuilder("train-ticket")
+
+	ui := b.svc("ts-ui-dashboard", Web)
+	auth := b.svc("ts-auth", Logic)
+	user := b.svc("ts-user", Logic)
+	verification := b.svc("ts-verification-code", Logic)
+	ticketInfo := b.svc("ts-ticketinfo", Logic)
+	basic := b.svc("ts-basic", Logic)
+	station := b.svc("ts-station", Logic)
+	train := b.svc("ts-train", Logic)
+	route := b.svc("ts-route", Logic)
+	price := b.svc("ts-price", Logic)
+	order := b.svc("ts-order", Logic)
+	orderOther := b.svc("ts-order-other", Logic)
+	config := b.svc("ts-config", Logic)
+	seat := b.svc("ts-seat", Logic)
+	travel := b.svc("ts-travel", Logic)
+	travel2 := b.svc("ts-travel2", Logic)
+	preserve := b.svc("ts-preserve", Logic)
+	security := b.svc("ts-security", Logic)
+	contacts := b.svc("ts-contacts", Logic)
+	assurance := b.svc("ts-assurance", Logic)
+	foodSvc := b.svc("ts-food", Logic)
+	foodMap := b.svc("ts-food-map", Logic)
+	consign := b.svc("ts-consign", Logic)
+	consignPrice := b.svc("ts-consign-price", Logic)
+	payment := b.svc("ts-payment", Logic)
+	insidePay := b.svc("ts-inside-payment", Logic)
+	cancel := b.svc("ts-cancel", Logic)
+	notify := b.svc("ts-notification", Logic)
+	rebook := b.svc("ts-rebook", Logic)
+	routePlan := b.svc("ts-route-plan", Logic)
+	travelPlan := b.svc("ts-travel-plan", Logic)
+	execute := b.svc("ts-execute", Logic)
+
+	// Persistent stores (Train-Ticket uses per-service MongoDBs).
+	orderDB := b.svc("ts-order-mongodb", DB)
+	userDB := b.svc("ts-user-mongodb", DB)
+	travelDB := b.svc("ts-travel-mongodb", DB)
+	routeDB := b.svc("ts-route-mongodb", DB)
+	stationDB := b.svc("ts-station-mongodb", DB)
+	priceDB := b.svc("ts-price-mongodb", DB)
+	paymentDB := b.svc("ts-payment-mongodb", DB)
+	foodDB := b.svc("ts-food-mongodb", DB)
+	consignDB := b.svc("ts-consign-mongodb", DB)
+
+	// query-ticket: the classic deep Train-Ticket read chain.
+	// travel → (ticketinfo → basic → (station ∥ train ∥ route ∥ price)) → seat
+	b.endpoint("query-ticket", 0.45, b.call(ui, ms(0.8),
+		Child{Seq, b.call(travel, ms(4),
+			Child{Seq, b.call(ticketInfo, ms(3),
+				Child{Seq, b.call(basic, ms(3),
+					Child{Par, b.call(station, ms(2), Child{Seq, b.call(stationDB, ms(5))})},
+					Child{Par, b.call(train, ms(2))},
+					Child{Par, b.call(route, ms(2.5), Child{Seq, b.call(routeDB, ms(5))})},
+					Child{Par, b.call(price, ms(2), Child{Seq, b.call(priceDB, ms(5))})},
+				)},
+			)},
+			Child{Seq, b.call(travelDB, ms(6))},
+		)},
+		Child{Seq, b.call(seat, ms(2.5),
+			Child{Seq, b.call(config, ms(1.5))},
+			Child{Seq, b.call(orderDB, ms(5))},
+		)},
+	))
+
+	// preserve (book): auth, contacts/assurance/food in parallel, then
+	// order write, inside payment, and background notification.
+	b.endpoint("preserve", 0.25, b.call(ui, ms(0.8),
+		Child{Seq, b.call(auth, ms(2.5),
+			Child{Seq, b.call(verification, ms(1.5))},
+			Child{Seq, b.call(userDB, ms(4))},
+		)},
+		Child{Seq, b.call(preserve, ms(4),
+			Child{Par, b.call(contacts, ms(2))},
+			Child{Par, b.call(assurance, ms(2))},
+			Child{Par, b.call(foodSvc, ms(2.5),
+				Child{Seq, b.call(foodMap, ms(2))},
+				Child{Seq, b.call(foodDB, ms(4.5))},
+			)},
+			Child{Seq, b.call(security, ms(2.5))},
+			Child{Seq, b.call(order, ms(3.5),
+				Child{Seq, b.call(orderDB, ms(6))},
+			)},
+			Child{Seq, b.call(insidePay, ms(3),
+				Child{Seq, b.call(payment, ms(3),
+					Child{Seq, b.call(paymentDB, ms(5))},
+				)},
+			)},
+			Child{Background, b.call(notify, ms(3),
+				Child{Seq, b.call(user, ms(2), Child{Seq, b.call(userDB, ms(4))})},
+			)},
+		)},
+	))
+
+	// travel-plan: route planning fan-out across travel/travel2.
+	b.endpoint("travel-plan", 0.12, b.call(ui, ms(0.8),
+		Child{Seq, b.call(travelPlan, ms(3.5),
+			Child{Seq, b.call(routePlan, ms(3),
+				Child{Par, b.call(travel, ms(3), Child{Seq, b.call(travelDB, ms(6))})},
+				Child{Par, b.call(travel2, ms(3), Child{Seq, b.call(travelDB, ms(6))})},
+				Child{Seq, b.call(route, ms(2.5), Child{Seq, b.call(routeDB, ms(5))})},
+			)},
+		)},
+		Child{Seq, b.call(ticketInfo, ms(3),
+			Child{Seq, b.call(basic, ms(3),
+				Child{Par, b.call(station, ms(2), Child{Seq, b.call(stationDB, ms(5))})},
+				Child{Par, b.call(price, ms(2), Child{Seq, b.call(priceDB, ms(5))})},
+			)},
+		)},
+	))
+
+	// rebook: change an existing ticket — order lookup, seat re-selection,
+	// payment delta.
+	b.endpoint("rebook", 0.05, b.call(ui, ms(0.8),
+		Child{Seq, b.call(rebook, ms(3.5),
+			Child{Seq, b.call(order, ms(3), Child{Seq, b.call(orderDB, ms(6))})},
+			Child{Seq, b.call(seat, ms(2.5), Child{Seq, b.call(config, ms(1.5))})},
+			Child{Seq, b.call(insidePay, ms(3),
+				Child{Seq, b.call(payment, ms(3), Child{Seq, b.call(paymentDB, ms(5))})},
+			)},
+		)},
+	))
+
+	// cancel-order: cancel + refund with background notification, and a
+	// consign cleanup path exercising order-other.
+	b.endpoint("cancel-order", 0.07, b.call(ui, ms(0.8),
+		Child{Seq, b.call(cancel, ms(3.5),
+			Child{Seq, b.call(order, ms(3), Child{Seq, b.call(orderDB, ms(6))})},
+			Child{Seq, b.call(orderOther, ms(2.5))},
+			Child{Seq, b.call(insidePay, ms(3),
+				Child{Seq, b.call(payment, ms(3), Child{Seq, b.call(paymentDB, ms(5))})},
+			)},
+			Child{Background, b.call(notify, ms(3),
+				Child{Seq, b.call(user, ms(2), Child{Seq, b.call(userDB, ms(4))})},
+			)},
+		)},
+		Child{Seq, b.call(consign, ms(2.5),
+			Child{Seq, b.call(consignPrice, ms(2))},
+			Child{Seq, b.call(consignDB, ms(4.5))},
+		)},
+	))
+
+	// execute (enter station): ticket collection/validation chain.
+	b.endpoint("execute", 0.06, b.call(ui, ms(0.8),
+		Child{Seq, b.call(execute, ms(3),
+			Child{Seq, b.call(order, ms(3), Child{Seq, b.call(orderDB, ms(6))})},
+		)},
+	))
+
+	return b.spec
+}

@@ -1,0 +1,152 @@
+// Package tracedb is the reproduction's stand-in for the graph database
+// (Neo4j in the paper, §3.1) that stores execution history graphs. It keeps
+// a bounded in-memory window of completed traces with indexes by request
+// type and supports the time-window queries the Extractor issues when an
+// SLO violation is detected.
+package tracedb
+
+import (
+	"sort"
+
+	"firm/internal/sim"
+	"firm/internal/trace"
+)
+
+// Store is a bounded ring of completed traces with per-request-type indexes.
+type Store struct {
+	cap    int
+	buf    []*trace.Trace
+	head   int
+	filled bool
+
+	total   uint64
+	dropped uint64
+}
+
+// New creates a store holding at most cap traces (oldest evicted first).
+func New(cap int) *Store {
+	if cap <= 0 {
+		panic("tracedb: capacity must be positive")
+	}
+	return &Store{cap: cap, buf: make([]*trace.Trace, cap)}
+}
+
+// Consume implements trace.Sink.
+func (s *Store) Consume(t *trace.Trace) {
+	s.buf[s.head] = t
+	s.head = (s.head + 1) % s.cap
+	if s.head == 0 {
+		s.filled = true
+	}
+	s.total++
+	if t.Dropped {
+		s.dropped++
+	}
+}
+
+// Len returns the number of traces currently stored.
+func (s *Store) Len() int {
+	if s.filled {
+		return s.cap
+	}
+	return s.head
+}
+
+// Total returns the number of traces ever consumed.
+func (s *Store) Total() uint64 { return s.total }
+
+// DroppedTotal returns the number of dropped-request traces ever consumed.
+func (s *Store) DroppedTotal() uint64 { return s.dropped }
+
+// all returns stored traces oldest-first.
+func (s *Store) all() []*trace.Trace {
+	out := make([]*trace.Trace, 0, s.Len())
+	if s.filled {
+		out = append(out, s.buf[s.head:]...)
+	}
+	out = append(out, s.buf[:s.head]...)
+	return out
+}
+
+// Query selects traces matching the filter. Zero-valued filter fields match
+// everything.
+type Query struct {
+	Since       sim.Time // trace End >= Since
+	Type        string   // request type
+	IncludeDrop bool     // include dropped-request traces
+	Limit       int      // max results (0 = unlimited), newest kept
+}
+
+// Select returns matching traces oldest-first.
+func (s *Store) Select(q Query) []*trace.Trace {
+	var out []*trace.Trace
+	for _, t := range s.all() {
+		if t == nil {
+			continue
+		}
+		if t.End < q.Since {
+			continue
+		}
+		if q.Type != "" && t.Type != q.Type {
+			continue
+		}
+		if t.Dropped && !q.IncludeDrop {
+			continue
+		}
+		out = append(out, t)
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}
+
+// Types returns the distinct request types in the window, sorted.
+func (s *Store) Types() []string {
+	set := map[string]struct{}{}
+	for _, t := range s.all() {
+		if t != nil {
+			set[t.Type] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Latencies returns end-to-end latencies (ms) of matching traces.
+func (s *Store) Latencies(q Query) []float64 {
+	ts := s.Select(q)
+	out := make([]float64, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t.Latency().Millis())
+	}
+	return out
+}
+
+// ServiceLatencies returns, for each service appearing in matching traces,
+// the list of span durations (ms). Used by Alg. 2 to compute per-instance
+// congestion intensity.
+func (s *Store) ServiceLatencies(q Query) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, t := range s.Select(q) {
+		for _, sp := range t.Spans {
+			out[sp.Service] = append(out[sp.Service], sp.Duration().Millis())
+		}
+	}
+	return out
+}
+
+// InstanceLatencies is ServiceLatencies keyed by container instance.
+func (s *Store) InstanceLatencies(q Query) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, t := range s.Select(q) {
+		for _, sp := range t.Spans {
+			out[sp.Instance] = append(out[sp.Instance], sp.Duration().Millis())
+		}
+	}
+	return out
+}

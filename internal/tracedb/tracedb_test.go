@@ -1,0 +1,90 @@
+package tracedb
+
+import (
+	"testing"
+
+	"firm/internal/sim"
+	"firm/internal/trace"
+)
+
+func tr(id uint64, typ string, end sim.Time, dropped bool) *trace.Trace {
+	t := &trace.Trace{ID: trace.TraceID(id), Type: typ, Start: end - 10, End: end, Dropped: dropped}
+	t.Spans = []trace.Span{{Trace: t.ID, ID: 1, Service: "svc", Instance: "svc-1",
+		Start: t.Start, End: t.End}}
+	return t
+}
+
+func TestRingEviction(t *testing.T) {
+	s := New(3)
+	for i := 1; i <= 5; i++ {
+		s.Consume(tr(uint64(i), "a", sim.Time(i*100), false))
+	}
+	if s.Len() != 3 || s.Total() != 5 {
+		t.Fatalf("len=%d total=%d", s.Len(), s.Total())
+	}
+	got := s.Select(Query{})
+	if len(got) != 3 || got[0].ID != 3 || got[2].ID != 5 {
+		t.Fatalf("oldest-first window: %v", ids(got))
+	}
+}
+
+func ids(ts []*trace.Trace) []trace.TraceID {
+	out := make([]trace.TraceID, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID
+	}
+	return out
+}
+
+func TestQueryFilters(t *testing.T) {
+	s := New(10)
+	s.Consume(tr(1, "a", 100, false))
+	s.Consume(tr(2, "b", 200, false))
+	s.Consume(tr(3, "a", 300, true))
+	if got := s.Select(Query{Type: "a"}); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("type filter: %v", ids(got))
+	}
+	if got := s.Select(Query{Type: "a", IncludeDrop: true}); len(got) != 2 {
+		t.Fatalf("drop filter: %v", ids(got))
+	}
+	if got := s.Select(Query{Since: 150}); len(got) != 1 {
+		t.Fatalf("since filter: %v", ids(got))
+	}
+	if got := s.Select(Query{Limit: 1}); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("limit keeps newest: %v", ids(got))
+	}
+	if s.DroppedTotal() != 1 {
+		t.Fatal("dropped counter")
+	}
+	types := s.Types()
+	if len(types) != 2 || types[0] != "a" || types[1] != "b" {
+		t.Fatalf("types: %v", types)
+	}
+}
+
+func TestLatencyViews(t *testing.T) {
+	s := New(10)
+	s.Consume(tr(1, "a", 100, false))
+	s.Consume(tr(2, "a", 200, false))
+	lats := s.Latencies(Query{})
+	if len(lats) != 2 || lats[0] != 10.0/1000 {
+		t.Fatalf("latencies: %v", lats)
+	}
+	bySvc := s.ServiceLatencies(Query{})
+	if len(bySvc["svc"]) != 2 {
+		t.Fatalf("service latencies: %v", bySvc)
+	}
+	byInst := s.InstanceLatencies(Query{})
+	if len(byInst["svc-1"]) != 2 {
+		t.Fatalf("instance latencies: %v", byInst)
+	}
+}
+
+func TestNewPanicsOnBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(0)
+}

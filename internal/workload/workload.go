@@ -1,0 +1,177 @@
+// Package workload provides the open-loop load generators used in the
+// paper's evaluation (§4.1): constant, diurnal, exponentially distributed,
+// and spiked request arrival patterns (the wrk2-style driver), with request
+// types drawn from each application's endpoint mix.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"firm/internal/app"
+	"firm/internal/sim"
+	"firm/internal/telemetry"
+)
+
+// Pattern yields the target arrival rate (requests/second) at a given time.
+type Pattern interface {
+	Rate(at sim.Time) float64
+}
+
+// Constant is a fixed-rate pattern.
+type Constant struct{ RPS float64 }
+
+// Rate implements Pattern.
+func (c Constant) Rate(sim.Time) float64 { return c.RPS }
+
+// Diurnal models a day/night cycle: Base + Amplitude*sin(2πt/Period),
+// clamped at zero. The paper compresses diurnal patterns into experiment
+// timescales; Period is configurable for the same reason.
+type Diurnal struct {
+	Base      float64
+	Amplitude float64
+	Period    sim.Time
+}
+
+// Rate implements Pattern.
+func (d Diurnal) Rate(at sim.Time) float64 {
+	r := d.Base + d.Amplitude*math.Sin(2*math.Pi*float64(at)/float64(d.Period))
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Ramp linearly interpolates from From to To over Duration, then holds.
+// Used by load sweeps (Fig. 5).
+type Ramp struct {
+	From, To float64
+	Duration sim.Time
+}
+
+// Rate implements Pattern.
+func (r Ramp) Rate(at sim.Time) float64 {
+	if at >= r.Duration {
+		return r.To
+	}
+	f := float64(at) / float64(r.Duration)
+	return r.From + f*(r.To-r.From)
+}
+
+// Spikes overlays stochastic square spikes on a base pattern: every
+// MeanGap (exponential), rate multiplies by Factor for SpikeLen.
+type Spikes struct {
+	Base     Pattern
+	Factor   float64
+	MeanGap  sim.Time
+	SpikeLen sim.Time
+
+	// spike windows are materialized lazily and deterministically from seed.
+	windows []window
+}
+
+type window struct{ lo, hi sim.Time }
+
+// NewSpikes precomputes spike windows covering [0, horizon].
+func NewSpikes(base Pattern, factor float64, meanGap, spikeLen, horizon sim.Time, seed int64) *Spikes {
+	s := &Spikes{Base: base, Factor: factor, MeanGap: meanGap, SpikeLen: spikeLen}
+	r := sim.Stream(seed, "workload-spikes")
+	at := sim.Time(0)
+	for at < horizon {
+		at += sim.Exponential(r, meanGap)
+		s.windows = append(s.windows, window{lo: at, hi: at + spikeLen})
+		at += spikeLen
+	}
+	return s
+}
+
+// Rate implements Pattern.
+func (s *Spikes) Rate(at sim.Time) float64 {
+	r := s.Base.Rate(at)
+	for _, w := range s.windows {
+		if at >= w.lo && at < w.hi {
+			return r * s.Factor
+		}
+	}
+	return r
+}
+
+// Generator drives an application with open-loop arrivals: inter-arrival
+// times are exponential at the pattern's instantaneous rate (a
+// non-homogeneous Poisson process), independent of response times — exactly
+// the property that lets latency spikes build queues.
+type Generator struct {
+	App     *app.App
+	Pattern Pattern
+	Meter   *telemetry.Meter // optional; records arrivals per type
+
+	eng *sim.Engine
+	rng *rand.Rand
+
+	// spikeMul is a transient rate multiplier driven by the workload-
+	// variation anomaly (injector SpikeHook).
+	spikeMul  float64
+	stopped   bool
+	Submitted uint64
+}
+
+// NewGenerator builds a generator for a deployed app.
+func NewGenerator(a *app.App, p Pattern, meter *telemetry.Meter, seed int64) *Generator {
+	return &Generator{
+		App: a, Pattern: p, Meter: meter,
+		eng: a.Engine(), rng: sim.Stream(seed, "workload"),
+		spikeMul: 1,
+	}
+}
+
+// Start begins issuing requests.
+func (g *Generator) Start() {
+	g.stopped = false
+	g.scheduleNext()
+}
+
+// Stop halts future arrivals (in-flight requests complete).
+func (g *Generator) Stop() { g.stopped = true }
+
+// Spike multiplies the arrival rate by (1+factor) for d — the Table 5
+// "workload variation" anomaly. Spikes stack multiplicatively.
+func (g *Generator) Spike(factor float64, d sim.Time) {
+	mul := 1 + factor
+	g.spikeMul *= mul
+	g.eng.Schedule(d, func() { g.spikeMul /= mul })
+}
+
+func (g *Generator) scheduleNext() {
+	rate := g.Pattern.Rate(g.eng.Now()) * g.spikeMul
+	if rate <= 0 {
+		// Idle: poll again shortly for the pattern to come back.
+		g.eng.Schedule(100*sim.Millisecond, func() {
+			if !g.stopped {
+				g.scheduleNext()
+			}
+		})
+		return
+	}
+	gap := sim.Exponential(g.rng, sim.FromSeconds(1/rate))
+	if gap < 1 {
+		gap = 1
+	}
+	g.eng.Schedule(gap, func() {
+		if g.stopped {
+			return
+		}
+		g.fire()
+		g.scheduleNext()
+	})
+}
+
+func (g *Generator) fire() {
+	typ, err := g.App.SubmitMix(g.rng, nil)
+	if err != nil {
+		return
+	}
+	g.Submitted++
+	if g.Meter != nil {
+		g.Meter.Record(typ)
+	}
+}

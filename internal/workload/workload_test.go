@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"firm/internal/app"
+	"firm/internal/cluster"
+	"firm/internal/sim"
+	"firm/internal/telemetry"
+	"firm/internal/topology"
+	"firm/internal/trace"
+	"firm/internal/tracedb"
+)
+
+func newApp(t *testing.T) (*sim.Engine, *app.App) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.NoiseSD = 0
+	cl := cluster.New(eng, cfg)
+	for i := 0; i < 3; i++ {
+		cl.AddNode(cluster.XeonProfile)
+	}
+	db := tracedb.New(50000)
+	coord := trace.NewCoordinator(eng, db)
+	a, err := app.Deploy(eng, cl, topology.HotelReservation(), coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, a
+}
+
+func TestConstantPattern(t *testing.T) {
+	p := Constant{RPS: 100}
+	if p.Rate(0) != 100 || p.Rate(sim.Hour) != 100 {
+		t.Fatal("constant rate")
+	}
+}
+
+func TestDiurnalPattern(t *testing.T) {
+	p := Diurnal{Base: 100, Amplitude: 50, Period: sim.Minute}
+	peak := p.Rate(sim.Minute / 4)
+	trough := p.Rate(3 * sim.Minute / 4)
+	if math.Abs(peak-150) > 1 || math.Abs(trough-50) > 1 {
+		t.Fatalf("diurnal peak %v trough %v", peak, trough)
+	}
+	// Never negative even with Amplitude > Base.
+	p2 := Diurnal{Base: 10, Amplitude: 100, Period: sim.Minute}
+	if p2.Rate(3*sim.Minute/4) != 0 {
+		t.Fatal("diurnal must clamp at zero")
+	}
+}
+
+func TestRampPattern(t *testing.T) {
+	p := Ramp{From: 0, To: 100, Duration: 10 * sim.Second}
+	if p.Rate(0) != 0 || p.Rate(5*sim.Second) != 50 || p.Rate(sim.Minute) != 100 {
+		t.Fatal("ramp interpolation")
+	}
+}
+
+func TestSpikesPattern(t *testing.T) {
+	s := NewSpikes(Constant{RPS: 10}, 5, 10*sim.Second, sim.Second, sim.Minute, 3)
+	if len(s.windows) == 0 {
+		t.Fatal("no spike windows generated")
+	}
+	inSpike, outSpike := false, false
+	for at := sim.Time(0); at < sim.Minute; at += 100 * sim.Millisecond {
+		switch s.Rate(at) {
+		case 50:
+			inSpike = true
+		case 10:
+			outSpike = true
+		}
+	}
+	if !inSpike || !outSpike {
+		t.Fatalf("spike coverage: in=%v out=%v", inSpike, outSpike)
+	}
+}
+
+func TestGeneratorOpenLoopRate(t *testing.T) {
+	eng, a := newApp(t)
+	meter := telemetry.NewMeter(eng, sim.Second, []string{"search-hotels", "recommend", "reserve"})
+	g := NewGenerator(a, Constant{RPS: 200}, meter, 5)
+	g.Start()
+	eng.RunUntil(20 * sim.Second)
+	g.Stop()
+	got := float64(g.Submitted) / 20
+	if math.Abs(got-200) > 20 {
+		t.Fatalf("generated %v req/s, want ≈200", got)
+	}
+	if r := meter.Rate(); math.Abs(r-200) > 40 {
+		t.Fatalf("meter rate %v", r)
+	}
+	eng.RunUntil(40 * sim.Second)
+	after := g.Submitted
+	eng.RunUntil(60 * sim.Second)
+	if g.Submitted != after {
+		t.Fatal("generator fired after Stop")
+	}
+}
+
+func TestGeneratorSpike(t *testing.T) {
+	eng, a := newApp(t)
+	g := NewGenerator(a, Constant{RPS: 100}, nil, 6)
+	g.Start()
+	eng.RunUntil(10 * sim.Second)
+	base := g.Submitted
+	g.Spike(3, 10*sim.Second) // 4x rate for 10s
+	eng.RunUntil(20 * sim.Second)
+	spiked := g.Submitted - base
+	eng.RunUntil(30 * sim.Second)
+	recovered := g.Submitted - base - spiked
+	if float64(spiked) < 2.5*float64(recovered) {
+		t.Fatalf("spike window %d vs recovered %d: spike not applied", spiked, recovered)
+	}
+}
+
+func TestGeneratorZeroRateIdles(t *testing.T) {
+	eng, a := newApp(t)
+	g := NewGenerator(a, Constant{RPS: 0}, nil, 7)
+	g.Start()
+	eng.RunUntil(5 * sim.Second)
+	if g.Submitted != 0 {
+		t.Fatal("zero rate must not submit")
+	}
+	// Pattern coming alive later must resume arrivals.
+	g.Pattern = Constant{RPS: 50}
+	eng.RunUntil(10 * sim.Second)
+	if g.Submitted == 0 {
+		t.Fatal("generator did not wake up from idle polling")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() uint64 {
+		eng, a := newApp(t)
+		g := NewGenerator(a, Constant{RPS: 150}, nil, 9)
+		g.Start()
+		eng.RunUntil(10 * sim.Second)
+		return g.Submitted
+	}
+	if run() != run() {
+		t.Fatal("same seed must generate identical arrivals")
+	}
+}
