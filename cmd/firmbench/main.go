@@ -5,10 +5,17 @@
 //
 //	firmbench -list
 //	firmbench -run fig3 -scale quick -seed 42
-//	firmbench -run all -scale full
+//	firmbench -run all -scale full -parallel 8
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Fan-out experiments (sweeps, repetitions, per-policy and per-anomaly
+// campaigns) execute as independent simulation jobs on a worker pool of
+// -parallel workers (default GOMAXPROCS). Job seeds derive from the
+// campaign seed and the job's stable key, and results merge in job order,
+// so the tables on stdout are byte-identical at any worker count; per-job
+// progress goes to stderr.
 package main
 
 import (
@@ -19,12 +26,13 @@ import (
 	"time"
 
 	"firm/internal/experiments"
+	"firm/internal/runner"
 )
 
-type runner func(sc experiments.Scale, seed int64) (fmt.Stringer, error)
+type experiment func(sc experiments.Scale, seed int64) (fmt.Stringer, error)
 
-func registry() map[string]runner {
-	return map[string]runner{
+func registry() map[string]experiment {
+	return map[string]experiment{
 		"fig1": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
 			return experiments.Fig1(sc, seed)
 		},
@@ -69,12 +77,27 @@ func registry() map[string]runner {
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id to run, or 'all'")
-		scale = flag.String("scale", "quick", "quick|full")
-		seed  = flag.Int64("seed", 42, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		scale    = flag.String("scale", "quick", "quick|full")
+		seed     = flag.Int64("seed", 42, "random seed")
+		list     = flag.Bool("list", false, "list experiment ids")
+		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 	)
 	flag.Parse()
+
+	runner.SetWorkers(*parallel)
+	if !*quiet {
+		// Progress goes to stderr: stdout must stay byte-identical across
+		// worker counts, and completion order is scheduling-dependent.
+		runner.SetProgress(func(ev runner.Event) {
+			status := "done"
+			if ev.Err != nil {
+				status = "FAILED: " + ev.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s\n", ev.Done, ev.N, ev.Key, status)
+		})
+	}
 
 	reg := registry()
 	ids := make([]string, 0, len(reg))
@@ -125,6 +148,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(res.String())
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Println()
+		// Wall-clock goes to stderr with the progress feed: stdout carries
+		// only the experiment artifact, byte-identical at any -parallel.
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", id, time.Since(start).Seconds())
 	}
 }

@@ -1,0 +1,3 @@
+module firm
+
+go 1.24

@@ -20,6 +20,7 @@ import (
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/telemetry"
+	"firm/internal/trace"
 	"firm/internal/tracedb"
 )
 
@@ -63,11 +64,7 @@ func (p *PerServiceAgents) AgentFor(service string) *rl.Agent {
 	}
 	cfg := p.Cfg
 	// Derive a per-service seed so tailored agents differ deterministically.
-	var h int64 = cfg.Seed
-	for _, c := range service {
-		h = h*131 + int64(c)
-	}
-	cfg.Seed = h
+	cfg.Seed = sim.DeriveSeed(cfg.Seed, service)
 	a := rl.New(cfg)
 	if p.Init != nil {
 		p.Init(a)
@@ -230,13 +227,18 @@ func (c *Controller) ResetEpisode() {
 	}
 }
 
-// windowP99 returns the current window's effective P99 end-to-end latency.
+// windowP99 selects the current window and returns its effective P99; used
+// where no window is already at hand (episode resets between ticks).
+func (c *Controller) windowP99() sim.Time {
+	return c.p99Of(c.db.Select(tracedb.Query{Since: c.eng.Now() - c.cfg.Window, IncludeDrop: true}))
+}
+
+// p99Of returns the window's effective P99 end-to-end latency.
 // Dropped requests are infinitely slow requests: any drop in the window
 // pushes the effective P99 to at least 10× the SLO so the SV signal cannot
 // be gamed by shedding load (starving a container until every request drops
 // would otherwise read as "no latency, no violation").
-func (c *Controller) windowP99() sim.Time {
-	traces := c.db.Select(tracedb.Query{Since: c.eng.Now() - c.cfg.Window, IncludeDrop: true})
+func (c *Controller) p99Of(traces []*trace.Trace) sim.Time {
 	var lats []float64
 	drops := 0
 	for _, t := range traces {
@@ -264,7 +266,15 @@ func (c *Controller) flushPending(done bool) {
 	if len(c.pending) == 0 {
 		return
 	}
-	p99 := c.windowP99()
+	c.flushPendingAt(done, c.windowP99())
+}
+
+// flushPendingAt is flushPending with the window P99 already computed (the
+// tick measures it once and reuses it for reward, flush, and actuation).
+func (c *Controller) flushPendingAt(done bool, p99 sim.Time) {
+	if len(c.pending) == 0 {
+		return
+	}
 	for _, p := range c.pending {
 		ag := c.prov.AgentFor(p.service)
 		culprit := p99 > c.app.SLO
@@ -289,12 +299,16 @@ func (c *Controller) tick() {
 	now := c.eng.Now()
 	window := c.db.Select(tracedb.Query{Since: now - c.cfg.Window, IncludeDrop: true})
 	violated := detect.Violated(window, c.app.SLO)
+	// One P99 measurement per tick: reward bookkeeping, pending-transition
+	// flush, and the actuation loop below all reuse it (the window cannot
+	// change mid-tick — no events run inside a tick).
+	p99 := c.p99Of(window)
 
 	// Episode-reward bookkeeping: a per-tick global objective signal
 	// (SLO compliance + cluster utilization), accumulated every tick so
 	// learning curves (Fig. 11a) measure policy quality independent of how
 	// many mitigation actions fired.
-	globalSV := c.sb.SV(c.windowP99(), violated)
+	globalSV := c.sb.SV(p99, violated)
 	var utilSum cluster.Vector
 	nc := 0
 	for _, rs := range c.app.Cluster().ReplicaSets() {
@@ -311,7 +325,7 @@ func (c *Controller) tick() {
 	c.EpisodeReward += agent.Reward(globalSV, utilSum, c.cfg.Alpha)
 
 	// Close the loop on last tick's actions first (reward observation).
-	c.flushPending(false)
+	c.flushPendingAt(false, p99)
 
 	// Mitigation-time bookkeeping (Fig. 11b's metric).
 	switch {
@@ -354,7 +368,6 @@ func (c *Controller) tick() {
 			cands[i].Critical = true
 		}
 	}
-	p99 := c.windowP99()
 	acted := 0
 	for _, cand := range cands {
 		if acted >= c.cfg.TopK {

@@ -9,6 +9,7 @@ import (
 	"firm/internal/cpath"
 	"firm/internal/harness"
 	"firm/internal/injector"
+	"firm/internal/runner"
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/topology"
@@ -85,14 +86,23 @@ func Fig1(sc Scale, seed int64) (*Fig1Result, error) {
 		return p99s, cpu, dram, nil
 	}
 
-	noP99, cpu, dram, err := run(seed+1, false)
+	// The two policy arms are paired on seed+1 (identical workload and
+	// anomaly realization; only the controller differs) and run as jobs.
+	type arm struct{ p99s, cpu, dram []float64 }
+	arms, err := runner.Map(seed, []runner.Job[arm]{
+		{Key: "fig1/no-firm", Run: func(int64) (arm, error) {
+			p, c, d, err := run(seed+1, false)
+			return arm{p, c, d}, err
+		}},
+		{Key: "fig1/firm", Run: func(int64) (arm, error) {
+			p, c, d, err := run(seed+1, true)
+			return arm{p, c, d}, err
+		}},
+	})
 	if err != nil {
 		return nil, err
 	}
-	yesP99, _, _, err := run(seed+1, true)
-	if err != nil {
-		return nil, err
-	}
+	noP99, cpu, dram, yesP99 := arms[0].p99s, arms[0].cpu, arms[0].dram, arms[1].p99s
 	res := &Fig1Result{
 		P99NoFIRM: noP99, P99FIRM: yesP99, CPUUtilPct: cpu, PerCoreDRAM: dram,
 		AnomalyStart: anomalyStart.Seconds(),
@@ -148,62 +158,91 @@ var table1Cols = map[string]string{
 	"text": "T", "compose-post": "C",
 }
 
+// table1Victims are the injected services of Table 1's rows.
+var table1Victims = []string{"video", "user-tag", "text"}
+
+// table1Row is one victim's measurements.
+type table1Row struct {
+	row   map[string]float64
+	total float64
+	sig   string
+}
+
 // Table1 injects a CPU anomaly at video (V), user-tag (U) and text (T) in
 // turn and measures per-service and total latency of compose-post requests.
+// The three victim runs are independent simulations executed as one job
+// list; every victim keeps the experiment seed so the rows stay paired on
+// the same workload realization (the table compares cells across rows).
 func Table1(sc Scale, seed int64) (*Table1Result, error) {
+	dur := sc.dur(40 * sim.Second)
+	var jobs []runner.Job[table1Row]
+	for _, victim := range table1Victims {
+		jobs = append(jobs, runner.Job[table1Row]{
+			Key: runner.Key("table1", victim),
+			Run: func(int64) (table1Row, error) { return table1Run(victim, seed, dur) },
+		})
+	}
+	rows, err := runner.Map(seed, jobs)
+	if err != nil {
+		return nil, err
+	}
 	res := &Table1Result{
 		Services:     []string{"N", "V", "U", "I", "T", "C"},
 		Rows:         map[string]map[string]float64{},
 		Totals:       map[string]float64{},
 		CPSignatures: map[string]string{},
 	}
-	dur := sc.dur(40 * sim.Second)
-	for _, victim := range []string{"video", "user-tag", "text"} {
-		b, err := harness.New(harness.Options{
-			Seed: seed, Spec: topology.SocialNetwork(), SLOMargin: 1.6,
-		})
-		if err != nil {
-			return nil, err
-		}
-		// compose-post only, so every trace matches Fig. 2(b); Since/Type
-		// filters exclude the SLO-calibration traffic.
-		t0 := b.Eng.Now()
-		gen := newEndpointDriver(b, "compose-post", 30)
-		gen.start()
-		ct := b.Cluster.ReplicaSet(victim).Containers()[0]
-		b.Injector.Inject(injector.Injection{
-			Kind: injector.CPUStress, Target: ct, Intensity: 0.55, Duration: dur,
-		})
-		b.Eng.RunFor(dur)
-
-		perSvc := map[string][]float64{}
-		var totals []float64
-		sigCount := map[string]int{}
-		for _, tr := range b.DB.Select(tracedb.Query{Type: "compose-post", Since: t0}) {
-			totals = append(totals, tr.Latency().Millis())
-			for _, sp := range tr.Spans {
-				if col, ok := table1Cols[sp.Service]; ok {
-					perSvc[col] = append(perSvc[col], tr.SelfDuration(sp).Millis())
-				}
-			}
-			p := cpath.Extract(tr)
-			sigCount[p.Signature()]++
-		}
-		row := map[string]float64{}
-		for col, lats := range perSvc {
-			row[col] = stats.Mean(lats)
-		}
-		res.Rows[victim] = row
-		res.Totals[victim] = stats.Mean(totals)
-		best, bestN := "", 0
-		for sig, n := range sigCount {
-			if n > bestN {
-				best, bestN = sig, n
-			}
-		}
-		res.CPSignatures[victim] = best
+	for i, victim := range table1Victims {
+		res.Rows[victim] = rows[i].row
+		res.Totals[victim] = rows[i].total
+		res.CPSignatures[victim] = rows[i].sig
 	}
 	return res, nil
+}
+
+func table1Run(victim string, seed int64, dur sim.Time) (table1Row, error) {
+	b, err := harness.New(harness.Options{
+		Seed: seed, Spec: topology.SocialNetwork(), SLOMargin: 1.6,
+	})
+	if err != nil {
+		return table1Row{}, err
+	}
+	// compose-post only, so every trace matches Fig. 2(b); Since/Type
+	// filters exclude the SLO-calibration traffic.
+	t0 := b.Eng.Now()
+	gen := newEndpointDriver(b, "compose-post", 30)
+	gen.start()
+	ct := b.Cluster.ReplicaSet(victim).Containers()[0]
+	b.Injector.Inject(injector.Injection{
+		Kind: injector.CPUStress, Target: ct, Intensity: 0.55, Duration: dur,
+	})
+	b.Eng.RunFor(dur)
+
+	perSvc := map[string][]float64{}
+	var totals []float64
+	sigCount := map[string]int{}
+	for _, tr := range b.DB.Select(tracedb.Query{Type: "compose-post", Since: t0}) {
+		totals = append(totals, tr.Latency().Millis())
+		for _, sp := range tr.Spans {
+			if col, ok := table1Cols[sp.Service]; ok {
+				perSvc[col] = append(perSvc[col], tr.SelfDuration(sp).Millis())
+			}
+		}
+		p := cpath.Extract(tr)
+		sigCount[p.Signature()]++
+	}
+	out := table1Row{row: map[string]float64{}, total: stats.Mean(totals)}
+	for col, lats := range perSvc {
+		out.row[col] = stats.Mean(lats)
+	}
+	best, bestN := "", 0
+	for sig, n := range sigCount {
+		if n > bestN {
+			best, bestN = sig, n
+		}
+	}
+	out.sig = best
+	return out, nil
 }
 
 // String renders Table 1.
@@ -274,59 +313,71 @@ type Fig3Row struct {
 }
 
 // Fig3 drives each benchmark with its request mix under the randomized
-// anomaly campaign and groups traces by critical-path signature.
+// anomaly campaign and groups traces by critical-path signature — one job
+// per benchmark, fanned across the worker pool.
 func Fig3(sc Scale, seed int64) (*Fig3Result, error) {
-	res := &Fig3Result{}
 	dur := sc.dur(60 * sim.Second)
+	var jobs []runner.Job[Fig3Row]
 	for i, spec := range topology.All() {
-		b, err := harness.New(harness.Options{
-			Seed: seed + int64(i), Spec: spec, SLOMargin: 1.6,
+		jobs = append(jobs, runner.Job[Fig3Row]{
+			Key: runner.Key("fig3", spec.Name),
+			Run: func(int64) (Fig3Row, error) { return fig3Run(spec, seed+int64(i), dur) },
 		})
-		if err != nil {
-			return nil, err
-		}
-		t0 := b.Eng.Now()
-		b.AttachWorkload(workload.Constant{RPS: 150})
-		camp := injector.DefaultCampaign(b.Injector, b.Containers())
-		camp.Start()
-		b.Eng.RunFor(dur)
-		camp.Stop()
+	}
+	rows, err := runner.Map(seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{Rows: rows}, nil
+}
 
-		// CP signatures are only comparable within one request type; scan
-		// the endpoint mix for the type with the richest CP diversity
-		// (anomalies land uniformly, so which type shifts varies by run).
-		var traces []*trace.Trace
-		var minSig, maxSig string
-		var minLat, maxLat []float64
-		ok := false
-		for _, minSamples := range []int{20, 5} {
-			for _, ep := range spec.Endpoints {
-				cand := b.DB.Select(tracedb.Query{Type: ep.Name, Since: t0})
-				if ms, ml, xs, xl, got := cpath.MinMaxCP(cand, minSamples); got {
-					traces, minSig, minLat, maxSig, maxLat, ok = cand, ms, ml, xs, xl, true
-					break
-				}
-			}
-			if ok {
+func fig3Run(spec *topology.Spec, seed int64, dur sim.Time) (Fig3Row, error) {
+	b, err := harness.New(harness.Options{
+		Seed: seed, Spec: spec, SLOMargin: 1.6,
+	})
+	if err != nil {
+		return Fig3Row{}, err
+	}
+	t0 := b.Eng.Now()
+	b.AttachWorkload(workload.Constant{RPS: 150})
+	camp := injector.DefaultCampaign(b.Injector, b.Containers())
+	camp.Start()
+	b.Eng.RunFor(dur)
+	camp.Stop()
+
+	// CP signatures are only comparable within one request type; scan
+	// the endpoint mix for the type with the richest CP diversity
+	// (anomalies land uniformly, so which type shifts varies by run).
+	var traces []*trace.Trace
+	var minSig, maxSig string
+	var minLat, maxLat []float64
+	ok := false
+	for _, minSamples := range []int{20, 5} {
+		for _, ep := range spec.Endpoints {
+			cand := b.DB.Select(tracedb.Query{Type: ep.Name, Since: t0})
+			if ms, ml, xs, xl, got := cpath.MinMaxCP(cand, minSamples); got {
+				traces, minSig, minLat, maxSig, maxLat, ok = cand, ms, ml, xs, xl, true
 				break
 			}
 		}
-		if !ok {
-			return nil, fmt.Errorf("fig3: %s: no CP diversity", spec.Name)
+		if ok {
+			break
 		}
-		groups := cpath.Group(traces)
-		row := Fig3Row{
-			Benchmark: spec.Name,
-			MinCP:     minSig, MaxCP: maxSig,
-			MinMedian: stats.Median(minLat), MaxMedian: stats.Median(maxLat),
-			MinP99: stats.Percentile(minLat, 99), MaxP99: stats.Percentile(maxLat, 99),
-			Groups: len(groups),
-		}
-		row.MedianRatio = ratio(row.MaxMedian, row.MinMedian)
-		row.P99Ratio = ratio(row.MaxP99, row.MinP99)
-		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	if !ok {
+		return Fig3Row{}, fmt.Errorf("fig3: %s: no CP diversity", spec.Name)
+	}
+	groups := cpath.Group(traces)
+	row := Fig3Row{
+		Benchmark: spec.Name,
+		MinCP:     minSig, MaxCP: maxSig,
+		MinMedian: stats.Median(minLat), MaxMedian: stats.Median(maxLat),
+		MinP99: stats.Percentile(minLat, 99), MaxP99: stats.Percentile(maxLat, 99),
+		Groups: len(groups),
+	}
+	row.MedianRatio = ratio(row.MaxMedian, row.MinMedian)
+	row.P99Ratio = ratio(row.MaxP99, row.MinP99)
+	return row, nil
 }
 
 // String renders the Fig. 3 report.
@@ -353,8 +404,17 @@ type Fig4Result struct {
 	BeforeP99, ScaleTextP99, ScaleComposeP99 float64
 }
 
+// fig4ArmStats is one arm's measurements (span stats only on the baseline).
+type fig4ArmStats struct {
+	TextMedian, TextStd       float64
+	ComposeMedian, ComposeStd float64
+	P99                       float64
+}
+
 // Fig4 measures compose-post latency before scaling, after scaling text
-// (high variance), and after scaling composePost (high median).
+// (high variance), and after scaling composePost (high median). The three
+// arms are independent simulations on the same seed (a paired comparison)
+// declared as one job list.
 func Fig4(sc Scale, seed int64) (*Fig4Result, error) {
 	dur := sc.dur(40 * sim.Second)
 	run := func(scale string) (*harness.Bench, sim.Time, error) {
@@ -395,30 +455,35 @@ func Fig4(sc Scale, seed int64) (*Fig4Result, error) {
 	q := func(t0 sim.Time) tracedb.Query {
 		return tracedb.Query{Type: "compose-post", Since: t0}
 	}
-	before, t0, err := run("")
+	arm := func(scale string) (fig4ArmStats, error) {
+		b, t0, err := run(scale)
+		if err != nil {
+			return fig4ArmStats{}, err
+		}
+		st := fig4ArmStats{P99: stats.Percentile(b.DB.Latencies(q(t0)), 99)}
+		if scale == "" {
+			perSvc := b.DB.ServiceLatencies(q(t0))
+			st.TextMedian = stats.Median(perSvc["text"])
+			st.TextStd = stats.StdDev(perSvc["text"])
+			st.ComposeMedian = stats.Median(perSvc["compose-post"])
+			st.ComposeStd = stats.StdDev(perSvc["compose-post"])
+		}
+		return st, nil
+	}
+	jobs := []runner.Job[fig4ArmStats]{
+		{Key: "fig4/before", Run: func(int64) (fig4ArmStats, error) { return arm("") }},
+		{Key: "fig4/scale-text", Run: func(int64) (fig4ArmStats, error) { return arm("text") }},
+		{Key: "fig4/scale-compose", Run: func(int64) (fig4ArmStats, error) { return arm("compose-post") }},
+	}
+	arms, err := runner.Map(seed, jobs)
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig4Result{}
-	perSvc := before.DB.ServiceLatencies(q(t0))
-	res.TextMedian = stats.Median(perSvc["text"])
-	res.TextStd = stats.StdDev(perSvc["text"])
-	res.ComposeMedian = stats.Median(perSvc["compose-post"])
-	res.ComposeStd = stats.StdDev(perSvc["compose-post"])
-	res.BeforeP99 = stats.Percentile(before.DB.Latencies(q(t0)), 99)
-
-	textArm, t1, err := run("text")
-	if err != nil {
-		return nil, err
-	}
-	res.ScaleTextP99 = stats.Percentile(textArm.DB.Latencies(q(t1)), 99)
-
-	composeArm, t2, err := run("compose-post")
-	if err != nil {
-		return nil, err
-	}
-	res.ScaleComposeP99 = stats.Percentile(composeArm.DB.Latencies(q(t2)), 99)
-	return res, nil
+	return &Fig4Result{
+		TextMedian: arms[0].TextMedian, TextStd: arms[0].TextStd,
+		ComposeMedian: arms[0].ComposeMedian, ComposeStd: arms[0].ComposeStd,
+		BeforeP99: arms[0].P99, ScaleTextP99: arms[1].P99, ScaleComposeP99: arms[2].P99,
+	}, nil
 }
 
 // String renders the Fig. 4 report.
@@ -456,44 +521,98 @@ var fig5Bottleneck = map[string]map[string]string{
 	"train-ticket":   {"cpu": "ts-order", "memory": "ts-order-mongodb"},
 }
 
-// Fig5 sweeps load and compares scale-up (double the bottleneck's limits)
-// with scale-out (add one replica) under a matching resource anomaly.
-func Fig5(sc Scale, seed int64) (*Fig5Result, error) {
-	res := &Fig5Result{}
-	loads := []float64{250, 750, 1250, 1750, 2250}
+// fig5Benches and fig5Resources enumerate the sweep's outer axes.
+var (
+	fig5Benches   = []string{"social-network", "train-ticket"}
+	fig5Resources = []string{"cpu", "memory"}
+	fig5Arms      = []string{"scale-up", "scale-out"}
+)
+
+func fig5Loads(sc Scale) []float64 {
 	if sc.DurationMul < 1 {
-		loads = []float64{250, 1250, 2250}
+		return []float64{250, 1250, 2250}
 	}
+	return []float64{250, 750, 1250, 1750, 2250}
+}
+
+// Fig5 sweeps load and compares scale-up (double the bottleneck's limits)
+// with scale-out (add one replica) under a matching resource anomaly. Each
+// (benchmark, resource, load, strategy, repetition) cell is an independent
+// simulation: the sweep declares one job per cell and fans them across the
+// worker pool. The two strategy arms of one repetition share a seed (the
+// comparison is paired on the same workload realization) while repetitions
+// differ, which is what the CI bars measure.
+func Fig5(sc Scale, seed int64) (*Fig5Result, error) {
+	loads := fig5Loads(sc)
 	dur := sc.dur(30 * sim.Second)
-	for _, benchName := range []string{"social-network", "train-ticket"} {
-		spec, err := topology.ByName(benchName)
-		if err != nil {
+	reps := sc.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for _, benchName := range fig5Benches {
+		if _, err := topology.ByName(benchName); err != nil {
 			return nil, err
 		}
-		for _, resource := range []string{"cpu", "memory"} {
+	}
+	// Enumerate the sweep's rows once, then declare one job per
+	// (row, arm, rep) cell carrying its row index and arm, so the merge
+	// below is driven by job metadata rather than a replay of these loops.
+	var rows []Fig5Row
+	for _, benchName := range fig5Benches {
+		for _, resource := range fig5Resources {
 			for _, load := range loads {
-				row := Fig5Row{Benchmark: benchName, Resource: resource, LoadRPS: load}
-				up, err := fig5Arm(spec.Name, resource, load, dur, seed, true)
-				if err != nil {
-					return nil, err
-				}
-				out, err := fig5Arm(spec.Name, resource, load, dur, seed, false)
-				if err != nil {
-					return nil, err
-				}
-				r := sim.Stream(seed, "fig5-ci")
-				row.UpMedian = stats.Median(up)
-				row.UpLo, row.UpHi, _ = stats.BootstrapCI(up, 0.95, 200, r)
-				row.OutMedian = stats.Median(out)
-				row.OutLo, row.OutHi, _ = stats.BootstrapCI(out, 0.95, 200, r)
-				if row.UpMedian <= row.OutMedian {
-					row.Winner = "scale-up"
-				} else {
-					row.Winner = "scale-out"
-				}
-				res.Rows = append(res.Rows, row)
+				rows = append(rows, Fig5Row{Benchmark: benchName, Resource: resource, LoadRPS: load})
 			}
 		}
+	}
+	type slot struct {
+		row     int
+		scaleUp bool
+	}
+	var jobs []runner.Job[[]float64]
+	var slots []slot
+	for ri, row := range rows {
+		for _, arm := range fig5Arms {
+			for rep := 0; rep < reps; rep++ {
+				pairKey := runner.Key("fig5", row.Benchmark, row.Resource, row.LoadRPS, "rep", rep)
+				scaleUp := arm == "scale-up"
+				jobs = append(jobs, runner.Job[[]float64]{
+					Key: runner.Key("fig5", row.Benchmark, row.Resource, row.LoadRPS, arm, "rep", rep),
+					Run: func(int64) ([]float64, error) {
+						return fig5Arm(row.Benchmark, row.Resource, row.LoadRPS, dur, sim.DeriveSeed(seed, pairKey), scaleUp)
+					},
+				})
+				slots = append(slots, slot{row: ri, scaleUp: scaleUp})
+			}
+		}
+	}
+	lats, err := runner.Map(seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	upPool := make([][]float64, len(rows))
+	outPool := make([][]float64, len(rows))
+	for k, lat := range lats {
+		if slots[k].scaleUp {
+			upPool[slots[k].row] = append(upPool[slots[k].row], lat...)
+		} else {
+			outPool[slots[k].row] = append(outPool[slots[k].row], lat...)
+		}
+	}
+	res := &Fig5Result{}
+	for ri, row := range rows {
+		r := sim.Stream(seed, runner.Key("fig5-ci", row.Benchmark, row.Resource, row.LoadRPS))
+		row.UpMedian = stats.Median(upPool[ri])
+		row.UpLo, row.UpHi, _ = stats.BootstrapCI(upPool[ri], 0.95, 200, r)
+		row.OutMedian = stats.Median(outPool[ri])
+		row.OutLo, row.OutHi, _ = stats.BootstrapCI(outPool[ri], 0.95, 200, r)
+		if row.UpMedian <= row.OutMedian {
+			row.Winner = "scale-up"
+		} else {
+			row.Winner = "scale-out"
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }

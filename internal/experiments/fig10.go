@@ -5,6 +5,7 @@ import (
 
 	"firm/internal/core"
 	"firm/internal/rl"
+	"firm/internal/runner"
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/topology"
@@ -53,32 +54,52 @@ func Fig10(sc Scale, seed int64) (*Fig10Result, error) {
 		return nil, err
 	}
 
-	// Phase 2: validate on Social Network.
+	// Phase 2: validate on Social Network — one job per policy. Each job
+	// owns its agent state: the single-RL arm clones the trained base
+	// inside the job, and the multi-RL provider is touched by its job
+	// alone (the other arms are rule-based), so no mutable state crosses
+	// workers. `base` is only read concurrently (weight transfer), which
+	// is safe.
 	spec := topology.SocialNetwork()
 	dur := sc.dur(120 * sim.Second)
 	res := &Fig10Result{Benchmark: spec.Name, Stats: map[string]RunStats{}}
 
 	runs := []struct {
 		policy Policy
-		prov   core.AgentProvider
+		prov   func(jobSeed int64) core.AgentProvider
 	}{
-		{PolicyFIRMSingle, core.SharedAgent{A: cloneAgent(base, seed+11)}},
-		{PolicyFIRMMulti, multi.Provider},
+		{PolicyFIRMSingle, func(jobSeed int64) core.AgentProvider {
+			return core.SharedAgent{A: cloneAgent(base, jobSeed)}
+		}},
+		{PolicyFIRMMulti, func(int64) core.AgentProvider { return multi.Provider }},
 		{PolicyAIMD, nil},
 		{PolicyHPA, nil},
 	}
-	for i, r := range runs {
-		st, err := Run(RunOpts{
-			Seed: seed + int64(i)*13, Spec: spec,
-			Pattern:  workload.Constant{RPS: 250},
-			Duration: dur, Policy: r.policy, Agents: r.prov, Campaign: true,
+	var jobs []runner.Job[RunStats]
+	for _, r := range runs {
+		jobs = append(jobs, runner.Job[RunStats]{
+			Key: runner.Key("fig10", r.policy),
+			Run: func(jobSeed int64) (RunStats, error) {
+				var prov core.AgentProvider
+				if r.prov != nil {
+					prov = r.prov(jobSeed)
+				}
+				return Run(RunOpts{
+					Seed: jobSeed, Spec: spec,
+					Pattern:  workload.Constant{RPS: 250},
+					Duration: dur, Policy: r.policy, Agents: prov, Campaign: true,
+				})
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		res.Stats[r.policy.String()] = st
+	}
+	sts, err := runner.Map(seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range runs {
+		res.Stats[r.policy.String()] = sts[i]
 		if res.SLOms == 0 {
-			res.SLOms = st.SLOms
+			res.SLOms = sts[i].SLOms
 		}
 	}
 

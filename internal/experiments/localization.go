@@ -7,6 +7,7 @@ import (
 	"firm/internal/detect"
 	"firm/internal/harness"
 	"firm/internal/injector"
+	"firm/internal/runner"
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/topology"
@@ -121,15 +122,21 @@ func collectAnomalyEvents(spec *topology.Spec, seed int64, kind injector.Kind,
 	return samples, nil
 }
 
+// fig9aKind is one anomaly type's ROC study.
+type fig9aKind struct {
+	auc   float64
+	curve [][2]float64
+	tpr15 float64
+}
+
 // Fig9a runs the single-anomaly localization study per anomaly type
 // (network delay, CPU, LLC, memory bandwidth, I/O, network bandwidth) and
-// sweeps the SVM decision threshold to trace each ROC curve.
+// sweeps the SVM decision threshold to trace each ROC curve. The per-type
+// studies are independent (each trains its own extractor on its own
+// campaigns) and fan out as one job per anomaly kind, seeded from the
+// campaign seed and the kind's name.
 func Fig9a(sc Scale, seed int64) (*Fig9aResult, error) {
 	spec := topology.SocialNetwork()
-	res := &Fig9aResult{
-		AUC: map[string]float64{}, Curves: map[string][][2]float64{},
-		TPRAtFPR15: map[string]float64{},
-	}
 	events := 20
 	if sc.DurationMul >= 1 {
 		events = 50
@@ -138,47 +145,70 @@ func Fig9a(sc Scale, seed int64) (*Fig9aResult, error) {
 		injector.NetworkDelay, injector.CPUStress, injector.LLCStress,
 		injector.MemBWStress, injector.IOStress, injector.NetBWStress,
 	}
+	var jobs []runner.Job[fig9aKind]
+	for _, kind := range kinds {
+		jobs = append(jobs, runner.Job[fig9aKind]{
+			Key: runner.Key("fig9a", kind),
+			Run: func(jobSeed int64) (fig9aKind, error) {
+				return fig9aStudy(spec, jobSeed, kind, events)
+			},
+		})
+	}
+	studies, err := runner.Map(seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9aResult{
+		AUC: map[string]float64{}, Curves: map[string][][2]float64{},
+		TPRAtFPR15: map[string]float64{},
+	}
 	var aucs []float64
 	for i, kind := range kinds {
-		// Harvest a labelled training campaign, fit the incremental SVM
-		// over it (several SGD passes, as scikit's partial_fit loop does),
-		// then evaluate on a fresh campaign with a different seed.
-		ext := detect.New(detect.DefaultConfig(), newSVM(seed+int64(i)))
-		trainSamples, err := collectAnomalyEvents(spec, seed+int64(i)*31, kind, events, ext)
-		if err != nil {
-			return nil, err
-		}
-		txs, tys, _ := toXY(trainSamples)
-		if err := ext.SVM().FitBatch(txs, tys, 12, seed); err != nil {
-			return nil, err
-		}
-		samples, err := collectAnomalyEvents(spec, seed+int64(i)*31+7, kind, events, ext)
-		if err != nil {
-			return nil, err
-		}
-		xs, ys, pos := toXY(samples)
-		if pos == 0 || pos == len(samples) {
-			return nil, fmt.Errorf("fig9a: %v: degenerate label set (%d/%d positive)", kind, pos, len(samples))
-		}
-		ths := thresholds(-3, 3, 61)
-		fpr, tpr, err := ext.SVM().ROC(xs, ys, ths)
-		if err != nil {
-			return nil, err
-		}
-		auc, err := stats.AUC(fpr, tpr)
-		if err != nil {
-			return nil, err
-		}
 		name := kind.String()
-		res.AUC[name] = auc
-		aucs = append(aucs, auc)
-		for j := range fpr {
-			res.Curves[name] = append(res.Curves[name], [2]float64{fpr[j], tpr[j]})
-		}
-		res.TPRAtFPR15[name] = tprAt(fpr, tpr, 0.15)
+		res.AUC[name] = studies[i].auc
+		res.Curves[name] = studies[i].curve
+		res.TPRAtFPR15[name] = studies[i].tpr15
+		aucs = append(aucs, studies[i].auc)
 	}
 	res.AvgAUC = stats.Mean(aucs)
 	return res, nil
+}
+
+// fig9aStudy harvests a labelled training campaign, fits the incremental
+// SVM over it (several SGD passes, as scikit's partial_fit loop does), then
+// evaluates on a fresh campaign with a different derived seed.
+func fig9aStudy(spec *topology.Spec, seed int64, kind injector.Kind, events int) (fig9aKind, error) {
+	ext := detect.New(detect.DefaultConfig(), newSVM(seed))
+	trainSamples, err := collectAnomalyEvents(spec, sim.DeriveSeed(seed, "train"), kind, events, ext)
+	if err != nil {
+		return fig9aKind{}, err
+	}
+	txs, tys, _ := toXY(trainSamples)
+	if err := ext.SVM().FitBatch(txs, tys, 12, seed); err != nil {
+		return fig9aKind{}, err
+	}
+	samples, err := collectAnomalyEvents(spec, sim.DeriveSeed(seed, "eval"), kind, events, ext)
+	if err != nil {
+		return fig9aKind{}, err
+	}
+	xs, ys, pos := toXY(samples)
+	if pos == 0 || pos == len(samples) {
+		return fig9aKind{}, fmt.Errorf("fig9a: %v: degenerate label set (%d/%d positive)", kind, pos, len(samples))
+	}
+	ths := thresholds(-3, 3, 61)
+	fpr, tpr, err := ext.SVM().ROC(xs, ys, ths)
+	if err != nil {
+		return fig9aKind{}, err
+	}
+	auc, err := stats.AUC(fpr, tpr)
+	if err != nil {
+		return fig9aKind{}, err
+	}
+	st := fig9aKind{auc: auc, tpr15: tprAt(fpr, tpr, 0.15)}
+	for j := range fpr {
+		st.curve = append(st.curve, [2]float64{fpr[j], tpr[j]})
+	}
+	return st, nil
 }
 
 // toXY converts labelled samples into SVM training arrays, returning the
@@ -252,19 +282,58 @@ func Fig9b(sc Scale, seed int64) (*Fig9bResult, error) {
 	if sc.DurationMul < 1 {
 		windows = 6
 	}
-	var all []float64
-	for _, arch := range []string{"x86", "ppc64"} {
-		for bi, spec := range topology.All() {
-			acc, err := fig9bRun(spec, seed+int64(bi)*101, archNodes[arch], windows)
-			if err != nil {
-				return nil, err
-			}
-			res.Accuracy[arch][spec.Name] = acc
-			all = append(all, acc)
+	// One job per (ISA, benchmark) run. The two ISA arms of a benchmark
+	// share a seed derived from the benchmark's name, so both architectures
+	// face the same Fig. 9(c) injection schedule — the comparison the figure
+	// makes — while benchmarks stay decorrelated.
+	arches := []string{"x86", "ppc64"}
+	type slot struct{ arch, bench string }
+	var jobs []runner.Job[float64]
+	var slots []slot
+	for _, arch := range arches {
+		for _, spec := range topology.All() {
+			nodes := archNodes[arch]
+			pairSeed := fig9bPairSeed(seed, spec.Name)
+			jobs = append(jobs, runner.Job[float64]{
+				Key: runner.Key("fig9b", arch, spec.Name),
+				Run: func(int64) (float64, error) {
+					return fig9bRun(spec, pairSeed, nodes, windows)
+				},
+			})
+			slots = append(slots, slot{arch: arch, bench: spec.Name})
 		}
+	}
+	accs, err := runner.Map(seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var all []float64
+	for k, acc := range accs {
+		res.Accuracy[slots[k].arch][slots[k].bench] = acc
+		all = append(all, acc)
 	}
 	res.Overall = stats.Mean(all)
 	return res, nil
+}
+
+// fig9bPairSeed derives the seed the two ISA arms of one benchmark share;
+// Fig9c replays the first benchmark's schedule from the same derivation, so
+// the two stay in lockstep by construction.
+func fig9bPairSeed(seed int64, bench string) int64 {
+	return sim.DeriveSeed(seed, runner.Key("fig9b", bench))
+}
+
+// fig9bTargetCount mirrors len(b.Containers()) for a fresh bench of spec.
+// fig9bRun never scales, so the injection-target pool stays at the spec's
+// initial replica count; Fig9c's schedule replay must draw targets with the
+// same modulus or math/rand's rejection resampling could consume a
+// different number of underlying values and desynchronize the streams.
+func fig9bTargetCount(spec *topology.Spec) int {
+	n := 0
+	for _, svc := range spec.Services {
+		n += svc.Replicas
+	}
+	return n
 }
 
 func repeatProfile(p cluster.HardwareProfile, n int) []cluster.HardwareProfile {
@@ -370,9 +439,12 @@ type Fig9cResult struct {
 	Intensity map[string][]float64 // kind → per-window intensity
 }
 
-// Fig9c materializes the schedule used by Fig9b for inspection.
+// Fig9c materializes the schedule used by Fig9b (first benchmark's pair
+// seed) for inspection.
 func Fig9c(seed int64) *Fig9cResult {
-	r := sim.Stream(seed, "fig9b")
+	spec := topology.All()[0]
+	targets := fig9bTargetCount(spec)
+	r := sim.Stream(fig9bPairSeed(seed, spec.Name), "fig9b")
 	kinds := []injector.Kind{
 		injector.NetworkDelay, injector.CPUStress, injector.LLCStress,
 		injector.MemBWStress, injector.IOStress, injector.NetBWStress,
@@ -390,7 +462,7 @@ func Fig9c(seed int64) *Fig9cResult {
 			}
 			res.Intensity[k.String()] = append(res.Intensity[k.String()], intensity)
 			if intensity > 0 {
-				r.Intn(1) // target draw, consumed to mirror fig9bRun
+				r.Intn(targets) // target draw, consumed to mirror fig9bRun
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"firm/internal/harness"
 	"firm/internal/injector"
 	"firm/internal/rl"
+	"firm/internal/runner"
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/topology"
@@ -193,17 +194,26 @@ type Fig11aResult struct {
 	ConvergedEpisode map[string]int
 }
 
-// Fig11a runs the three training campaigns.
+// Fig11a runs the three training campaigns. Episodes within a variant are
+// inherently sequential (the agent carries state between episodes), but the
+// variants themselves are independent: One-for-All and One-for-Each run as
+// parallel jobs; Transferred must wait for One-for-All's trained base. All
+// variants share the experiment seed on purpose — §4.3 trains every model
+// "subjected to the same sequence of performance anomaly injections".
 func Fig11a(sc Scale, seed int64) (*Fig11aResult, error) {
 	spec := topology.TrainTicket()
-	all, err := Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount, Variant: OneForAll})
+	firstTwo, err := runner.Map(seed, []runner.Job[*TrainResult]{
+		{Key: "fig11a/one-for-all", Run: func(int64) (*TrainResult, error) {
+			return Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount, Variant: OneForAll})
+		}},
+		{Key: "fig11a/one-for-each", Run: func(int64) (*TrainResult, error) {
+			return Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount, Variant: OneForEach})
+		}},
+	})
 	if err != nil {
 		return nil, err
 	}
-	each, err := Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount, Variant: OneForEach})
-	if err != nil {
-		return nil, err
-	}
+	all, each := firstTwo[0], firstTwo[1]
 	base := all.Provider.Agents()[0]
 	trans, err := Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount, Variant: Transferred, Base: base})
 	if err != nil {
@@ -291,53 +301,75 @@ func Fig11b(sc Scale, seed int64) (*Fig11bResult, error) {
 	if sc.DurationMul >= 1 {
 		events = 20
 	}
+	// Training is sequential (checkpoints are snapshots of one evolving
+	// agent), but everything downstream is an independent evaluation: one
+	// job per checkpoint, one for the fine-tuned multi-RL pipeline, one per
+	// rule-based baseline. Every evaluation runs the identical seed+500
+	// event protocol — the figure compares policies on the same anomaly
+	// sequence — and each job builds its own agent from a read-only
+	// snapshot, so nothing mutable crosses workers.
+	var jobs []runner.Job[float64]
 	for i, snap := range single.Checkpoints {
-		cfg := rl.DefaultConfig()
-		cfg.Seed = seed + 100
-		ag := rl.New(cfg)
-		if err := ag.Load(snap); err != nil {
-			return nil, err
-		}
-		mt, err := evalMitigation(spec, seed+500, core.SharedAgent{A: ag}, events)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, runner.Job[float64]{
+			Key: runner.Key("fig11b", "checkpoint", single.CheckpointEp[i]),
+			Run: func(int64) (float64, error) {
+				cfg := rl.DefaultConfig()
+				cfg.Seed = seed + 100
+				ag := rl.New(cfg)
+				if err := ag.Load(snap); err != nil {
+					return 0, err
+				}
+				return evalMitigation(spec, seed+500, core.SharedAgent{A: ag}, events)
+			},
+		})
+	}
+	nCheckpoints := len(jobs)
+	jobs = append(jobs, runner.Job[float64]{
+		// Multi-RL: per-service agents transferred from the trained
+		// single-RL base and fine-tuned (§3.4's deployment path for
+		// tailored agents).
+		Key: "fig11b/multi-rl",
+		Run: func(int64) (float64, error) {
+			base := rl.New(rl.DefaultConfig())
+			if len(single.Checkpoints) > 0 {
+				if err := base.Load(single.Checkpoints[len(single.Checkpoints)-1]); err != nil {
+					return 0, err
+				}
+			}
+			multi, err := Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount / 2,
+				Variant: Transferred, Base: base})
+			if err != nil {
+				return 0, err
+			}
+			return evalMitigation(spec, seed+500, multi.Provider, events)
+		},
+	}, runner.Job[float64]{
+		Key: "fig11b/baseline/hpa",
+		Run: func(int64) (float64, error) {
+			return evalBaselineMitigation(spec, seed+500, PolicyHPA, events)
+		},
+	}, runner.Job[float64]{
+		Key: "fig11b/baseline/aimd",
+		Run: func(int64) (float64, error) {
+			return evalBaselineMitigation(spec, seed+500, PolicyAIMD, events)
+		},
+	})
+	mts, err := runner.Map(seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nCheckpoints; i++ {
 		res.Episodes = append(res.Episodes, single.CheckpointEp[i])
-		res.SingleRL = append(res.SingleRL, mt)
-		_ = i
+		res.SingleRL = append(res.SingleRL, mts[i])
 	}
 	if n := len(res.SingleRL); n > 0 {
 		res.FinalSingleRL = res.SingleRL[n-1]
 	}
-
-	// Multi-RL: per-service agents transferred from the trained single-RL
-	// base and fine-tuned (§3.4's deployment path for tailored agents).
-	base := rl.New(rl.DefaultConfig())
-	if len(single.Checkpoints) > 0 {
-		if err := base.Load(single.Checkpoints[len(single.Checkpoints)-1]); err != nil {
-			return nil, err
-		}
-	}
-	multi, err := Train(TrainOpts{Seed: seed, Spec: spec, Episodes: sc.EpisodeCount / 2,
-		Variant: Transferred, Base: base})
-	if err != nil {
-		return nil, err
-	}
-	mt, err := evalMitigation(spec, seed+500, multi.Provider, events)
-	if err != nil {
-		return nil, err
-	}
 	for range res.Episodes {
-		res.MultiRL = append(res.MultiRL, mt) // final-policy reference line
+		res.MultiRL = append(res.MultiRL, mts[nCheckpoints]) // final-policy reference line
 	}
-
-	// Baselines measured under the identical event protocol.
-	if res.HPABaseline, err = evalBaselineMitigation(spec, seed+500, PolicyHPA, events); err != nil {
-		return nil, err
-	}
-	if res.AIMDBaseline, err = evalBaselineMitigation(spec, seed+500, PolicyAIMD, events); err != nil {
-		return nil, err
-	}
+	res.HPABaseline = mts[nCheckpoints+1]
+	res.AIMDBaseline = mts[nCheckpoints+2]
 	return res, nil
 }
 

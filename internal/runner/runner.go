@@ -1,0 +1,187 @@
+// Package runner fans independent simulation jobs across a worker pool.
+//
+// FIRM's evaluation is a campaign of independent simulations — policy
+// comparisons, seed repetitions, per-anomaly sweeps, RL training variants.
+// Each simulation owns a private single-threaded sim.Engine and is
+// bit-reproducible under a fixed seed, so campaigns parallelize perfectly:
+// the only requirements are that every job gets a seed derived from the
+// campaign seed and a stable job key (never from execution order), and that
+// results are merged in declaration order. Under those two rules the output
+// of a campaign is byte-identical at any worker count, which the experiment
+// CLI exposes as `firmbench -parallel N`.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"firm/internal/sim"
+)
+
+// Job is one independent simulation of a campaign. Key must be unique
+// within the campaign and stable across runs and code motion: together
+// with the campaign seed it determines the seed passed to Run. Jobs whose
+// experiment protocol pairs several simulations on one seed (e.g. the two
+// strategy arms of a Fig. 5 repetition, or training variants compared on
+// the same anomaly sequence) may ignore the passed seed and derive a
+// shared one from a pair key instead — what matters for reproducibility is
+// that no job's seed ever depends on execution order.
+type Job[T any] struct {
+	Key string
+	// Run executes the simulation with the job's derived seed. It must not
+	// share mutable state with any other job in the same Map call; shared
+	// read-only inputs (trained weights, topology specs) are fine.
+	Run func(seed int64) (T, error)
+}
+
+// Event reports one finished job to the progress hook.
+type Event struct {
+	Key  string
+	Done int // jobs finished so far, including this one
+	N    int // total jobs in this Map call
+	Err  error
+}
+
+var (
+	mu       sync.Mutex
+	workers  = runtime.GOMAXPROCS(0)
+	progress func(Event)
+)
+
+// SetWorkers sets the pool size used by Map. n <= 0 resets to GOMAXPROCS.
+// cmd/firmbench wires its -parallel flag here.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	mu.Lock()
+	workers = n
+	mu.Unlock()
+}
+
+// Workers returns the current pool size.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return workers
+}
+
+// SetProgress installs a hook invoked (serialized, in completion order) as
+// jobs finish. nil disables reporting. Progress order is scheduling-
+// dependent; anything that must be deterministic belongs in Map's results.
+func SetProgress(fn func(Event)) {
+	mu.Lock()
+	progress = fn
+	mu.Unlock()
+}
+
+// Map runs every job on the current worker pool and returns their results
+// in job order. Each job's seed is sim.DeriveSeed(campaignSeed, job.Key),
+// so results do not depend on worker count or completion order. After the
+// first failure, not-yet-started jobs are skipped (already-running ones
+// finish); the error returned is the first in job order among the jobs
+// that ran. Results are only meaningful when the error is nil.
+func Map[T any](campaignSeed int64, jobs []Job[T]) ([]T, error) {
+	return MapN(Workers(), campaignSeed, jobs)
+}
+
+// MapN is Map with an explicit worker count (tests pit 1 against
+// GOMAXPROCS to assert byte-identical output).
+func MapN[T any](nWorkers int, campaignSeed int64, jobs []Job[T]) ([]T, error) {
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if nWorkers > len(jobs) {
+		nWorkers = len(jobs)
+	}
+	seen := make(map[string]struct{}, len(jobs))
+	for _, j := range jobs {
+		if j.Run == nil {
+			return nil, fmt.Errorf("runner: job %q has nil Run", j.Key)
+		}
+		if _, dup := seen[j.Key]; dup {
+			return nil, fmt.Errorf("runner: duplicate job key %q", j.Key)
+		}
+		seen[j.Key] = struct{}{}
+	}
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var failed atomic.Bool
+
+	if nWorkers <= 1 {
+		// Inline fast path: no goroutines, same semantics.
+		for i, j := range jobs {
+			results[i], errs[i] = j.Run(sim.DeriveSeed(campaignSeed, j.Key))
+			report(Event{Key: j.Key, Done: i + 1, N: len(jobs), Err: errs[i]})
+			if errs[i] != nil {
+				break
+			}
+		}
+		return results, firstErr(errs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var done int
+	var doneMu sync.Mutex
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue // fail-fast: drain without running
+				}
+				j := jobs[i]
+				results[i], errs[i] = j.Run(sim.DeriveSeed(campaignSeed, j.Key))
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+				doneMu.Lock()
+				done++
+				report(Event{Key: j.Key, Done: done, N: len(jobs), Err: errs[i]})
+				doneMu.Unlock()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, firstErr(errs)
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func report(ev Event) {
+	mu.Lock()
+	fn := progress
+	mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// Key builds a stable job key from path segments ("fig5", bench, "cpu",
+// "250rps", "up", "rep0" → "fig5/social-network/cpu/250rps/up/rep0").
+func Key(parts ...any) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprint(p)
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jitteryJobs build results from the job seed only, with scheduling noise so
+// completion order differs from declaration order under parallelism.
+func jitteryJobs(n int) []Job[string] {
+	jobs := make([]Job[string], n)
+	for i := 0; i < n; i++ {
+		key := Key("job", i)
+		jobs[i] = Job[string]{Key: key, Run: func(seed int64) (string, error) {
+			r := rand.New(rand.NewSource(seed))
+			time.Sleep(time.Duration(r.Intn(3)) * time.Millisecond)
+			return fmt.Sprintf("%s:%d", key, r.Int63()), nil
+		}}
+	}
+	return jobs
+}
+
+func TestMapNResultsIndependentOfWorkerCount(t *testing.T) {
+	jobs := jitteryJobs(24)
+	ref, err := MapN(1, 42, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 100} {
+		got, err := MapN(workers, 42, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d: results differ from sequential run", workers)
+		}
+	}
+}
+
+func TestMapNResultOrderMatchesJobOrder(t *testing.T) {
+	jobs := jitteryJobs(16)
+	got, err := MapN(4, 7, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		want := Key("job", i) + ":"
+		if len(s) < len(want) || s[:len(want)] != want {
+			t.Fatalf("slot %d holds %q", i, s)
+		}
+	}
+}
+
+func TestMapNSeedsDifferPerKey(t *testing.T) {
+	var mu sync.Mutex
+	seeds := map[int64]bool{}
+	jobs := make([]Job[int], 32)
+	for i := range jobs {
+		jobs[i] = Job[int]{Key: Key("k", i), Run: func(seed int64) (int, error) {
+			mu.Lock()
+			seeds[seed] = true
+			mu.Unlock()
+			return 0, nil
+		}}
+	}
+	if _, err := MapN(4, 1, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != len(jobs) {
+		t.Fatalf("expected %d distinct job seeds, got %d", len(jobs), len(seeds))
+	}
+}
+
+func TestMapNErrorReporting(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	var ran atomic.Int32
+	jobs := []Job[int]{
+		{Key: "ok", Run: func(int64) (int, error) { ran.Add(1); return 1, nil }},
+		{Key: "slow-fail", Run: func(int64) (int, error) {
+			ran.Add(1)
+			time.Sleep(5 * time.Millisecond)
+			return 0, errA
+		}},
+		{Key: "fast-fail", Run: func(int64) (int, error) { ran.Add(1); return 0, errB }},
+		{Key: "late", Run: func(int64) (int, error) { ran.Add(1); return 2, nil }},
+	}
+	// Sequential: jobs after the first failure are skipped, and the error
+	// is deterministic (first in job order).
+	ran.Store(0)
+	if _, err := MapN(1, 0, jobs); !errors.Is(err, errA) {
+		t.Fatalf("workers=1: want %v, got %v", errA, err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("workers=1: fail-fast should skip jobs after the failure, ran %d", got)
+	}
+	// Parallel: some failing job's error is returned (which one depends on
+	// completion order — errors abort the campaign either way).
+	if _, err := MapN(3, 0, jobs); !errors.Is(err, errA) && !errors.Is(err, errB) {
+		t.Fatalf("workers=3: want a job error, got %v", err)
+	}
+}
+
+func TestMapNRejectsDuplicateKeys(t *testing.T) {
+	jobs := []Job[int]{
+		{Key: "x", Run: func(int64) (int, error) { return 0, nil }},
+		{Key: "x", Run: func(int64) (int, error) { return 0, nil }},
+	}
+	if _, err := MapN(2, 0, jobs); err == nil {
+		t.Fatal("duplicate keys must be rejected: they would share a seed")
+	}
+}
+
+func TestProgressReportsEveryJob(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	SetProgress(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	defer SetProgress(nil)
+	jobs := jitteryJobs(10)
+	if _, err := MapN(4, 3, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("got %d events for %d jobs", len(events), len(jobs))
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.N != len(jobs) {
+			t.Fatalf("event %d: Done=%d N=%d", i, ev.Done, ev.N)
+		}
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+	SetWorkers(0)
+	if Workers() <= 0 {
+		t.Fatal("SetWorkers(0) must reset to GOMAXPROCS")
+	}
+}
+
+func TestKeyJoinsSegments(t *testing.T) {
+	if got := Key("fig5", "cpu", 250, "rep", 0); got != "fig5/cpu/250/rep/0" {
+		t.Fatalf("Key: %q", got)
+	}
+}

@@ -14,6 +14,29 @@ func Stream(seed int64, label string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h)))
 }
 
+// DeriveSeed deterministically derives an independent seed from a campaign
+// seed and a stable key. The key bytes are folded FNV-1a style and the
+// result is passed through a SplitMix64 finalizer, so near-identical keys
+// ("rep-1"/"rep-2", per-service names differing in one rune) still yield
+// uncorrelated seeds. internal/runner uses it to give every job of a
+// campaign its own private seed, and core.PerServiceAgents to give every
+// tailored agent its own weight-init stream.
+func DeriveSeed(seed int64, key string) int64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < 8; i++ {
+		h = (h ^ (uint64(seed) >> (8 * i) & 0xff)) * 1099511628211
+	}
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	// SplitMix64 finalizer (Steele et al.): full-avalanche mixing.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}
+
 // Exponential draws an exponentially distributed duration with the given
 // mean. It is used for Poisson arrival processes and the anomaly-injection
 // inter-arrival distribution (the paper uses λ=0.33 s⁻¹).

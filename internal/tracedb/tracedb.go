@@ -68,6 +68,14 @@ func (s *Store) all() []*trace.Trace {
 	return out
 }
 
+// at returns the i-th stored trace oldest-first, 0 <= i < Len().
+func (s *Store) at(i int) *trace.Trace {
+	if s.filled {
+		return s.buf[(s.head+i)%s.cap]
+	}
+	return s.buf[i]
+}
+
 // Query selects traces matching the filter. Zero-valued filter fields match
 // everything.
 type Query struct {
@@ -77,16 +85,20 @@ type Query struct {
 	Limit       int      // max results (0 = unlimited), newest kept
 }
 
-// Select returns matching traces oldest-first.
+// Select returns matching traces oldest-first. Traces are consumed at
+// completion time on the engine's monotonic clock, so the ring is ordered
+// by End; the Since bound is found by binary search instead of copying and
+// scanning the whole window (the control loop issues a Select per tick
+// against a window that is a tiny suffix of the 200k-trace store).
 func (s *Store) Select(q Query) []*trace.Trace {
+	n := s.Len()
+	start := 0
+	if q.Since > 0 {
+		start = sort.Search(n, func(i int) bool { return s.at(i).End >= q.Since })
+	}
 	var out []*trace.Trace
-	for _, t := range s.all() {
-		if t == nil {
-			continue
-		}
-		if t.End < q.Since {
-			continue
-		}
+	for i := start; i < n; i++ {
+		t := s.at(i)
 		if q.Type != "" && t.Type != q.Type {
 			continue
 		}

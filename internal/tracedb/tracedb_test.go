@@ -80,6 +80,63 @@ func TestLatencyViews(t *testing.T) {
 	}
 }
 
+// selectLinear is the pre-binary-search reference implementation.
+func selectLinear(s *Store, q Query) []*trace.Trace {
+	var out []*trace.Trace
+	for _, t := range s.all() {
+		if t == nil || t.End < q.Since {
+			continue
+		}
+		if q.Type != "" && t.Type != q.Type {
+			continue
+		}
+		if t.Dropped && !q.IncludeDrop {
+			continue
+		}
+		out = append(out, t)
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}
+
+func TestSelectMatchesLinearReference(t *testing.T) {
+	// Exercise wrapped and unwrapped rings, duplicate End timestamps, and
+	// Since values on/off trace boundaries.
+	for _, cap := range []int{4, 7, 64} {
+		for _, n := range []int{0, 3, 7, 50} {
+			s := New(cap)
+			for i := 1; i <= n; i++ {
+				typ := "a"
+				if i%3 == 0 {
+					typ = "b"
+				}
+				// Duplicate End every other trace (End advances every 2).
+				s.Consume(tr(uint64(i), typ, sim.Time((i/2)*100), i%4 == 0))
+			}
+			for _, since := range []sim.Time{-50, 0, 1, 99, 100, 101, 2400, 1 << 40} {
+				for _, q := range []Query{
+					{Since: since, IncludeDrop: true},
+					{Since: since},
+					{Since: since, Type: "a"},
+					{Since: since, Type: "b", IncludeDrop: true, Limit: 3},
+				} {
+					want, got := selectLinear(s, q), s.Select(q)
+					if len(want) != len(got) {
+						t.Fatalf("cap=%d n=%d %+v: %d vs %d traces", cap, n, q, len(want), len(got))
+					}
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("cap=%d n=%d %+v: trace %d differs", cap, n, q, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestNewPanicsOnBadCap(t *testing.T) {
 	defer func() {
 		if recover() == nil {
