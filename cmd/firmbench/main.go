@@ -6,6 +6,7 @@
 //	firmbench -list
 //	firmbench -run fig3 -scale quick -seed 42
 //	firmbench -run all -scale full -parallel 8
+//	firmbench -run fig11b -scale tiny -rollout 4
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact; EXPERIMENTS.md records paper-vs-measured values.
@@ -16,6 +17,13 @@
 // campaign seed and the job's stable key, and results merge in job order,
 // so the tables on stdout are byte-identical at any worker count; per-job
 // progress goes to stderr.
+//
+// RL training campaigns (fig10, fig11a, fig11b, headline) additionally
+// parallelize their episode rollouts on internal/rollout's actor-learner
+// engine. -rollout pins the per-campaign rollout worker count; the default
+// (0) lets rollouts borrow whatever the -parallel job pool leaves spare, so
+// inner and outer parallelism share one budget. Rollout worker count never
+// changes stdout either — only wall-clock.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"firm/internal/experiments"
+	"firm/internal/rollout"
 	"firm/internal/runner"
 )
 
@@ -78,15 +87,17 @@ func registry() map[string]experiment {
 func main() {
 	var (
 		run      = flag.String("run", "", "experiment id to run, or 'all'")
-		scale    = flag.String("scale", "quick", "quick|full")
+		scale    = flag.String("scale", "quick", "tiny|quick|full")
 		seed     = flag.Int64("seed", 42, "random seed")
 		list     = flag.Bool("list", false, "list experiment ids")
 		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		rollWk   = flag.Int("rollout", 0, "RL episode-rollout workers per training campaign (0 = share -parallel budget)")
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 	)
 	flag.Parse()
 
 	runner.SetWorkers(*parallel)
+	rollout.SetWorkers(*rollWk)
 	if !*quiet {
 		// Progress goes to stderr: stdout must stay byte-identical across
 		// worker counts, and completion order is scheduling-dependent.
@@ -119,6 +130,8 @@ func main() {
 
 	var sc experiments.Scale
 	switch *scale {
+	case "tiny":
+		sc = experiments.TinyScale()
 	case "quick":
 		sc = experiments.QuickScale()
 	case "full":

@@ -9,7 +9,9 @@
 package core
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 
 	"firm/internal/agent"
 	"firm/internal/app"
@@ -34,6 +36,46 @@ type AgentProvider interface {
 	Agents() []*rl.Agent
 }
 
+// TransitionSink receives finalized transitions in emission order. When
+// Config.Sink is set, the controller diverts transitions here instead of
+// writing the replay buffer and stepping gradients: rollout actor workers
+// (internal/rollout) collect experience this way for a central learner that
+// replays it in a fixed episode order.
+type TransitionSink func(service string, t rl.Transition)
+
+// ReplicableProvider is an AgentProvider whose policies can be mirrored
+// into per-worker acting replicas — the actor half of internal/rollout's
+// actor-learner split. Snapshot keys are stable identifiers (the shared
+// agent uses one fixed key; per-service providers key by service name).
+type ReplicableProvider interface {
+	AgentProvider
+	// SnapshotPolicies serializes every distinct agent under its stable key.
+	SnapshotPolicies() (map[string]rl.Snapshot, error)
+	// NewReplica creates a provider mirroring this provider's service→agent
+	// mapping with private acting copies (small replay buffers, private
+	// RNGs). The replica's weights are undefined until SyncPolicies.
+	NewReplica() ReplicaProvider
+}
+
+// ReplicaProvider is a worker-local mirror of a learner's AgentProvider.
+// Its agents only act (the controller's Sink carries their experience to
+// the learner); they are never trained in place.
+type ReplicaProvider interface {
+	AgentProvider
+	// SyncPolicies loads learner snapshots (keyed as SnapshotPolicies keys
+	// them) into the replica's agents. Agents the replica has not
+	// materialized yet pick their snapshot up lazily on first AgentFor.
+	SyncPolicies(map[string]rl.Snapshot) error
+	// BeginEpisode re-derives every replica agent's exploration stream from
+	// the episode seed — including agents materialized later in the episode
+	// — so an episode's randomness is independent of worker identity and of
+	// whatever the replica ran before.
+	BeginEpisode(episodeSeed int64)
+}
+
+// sharedPolicyKey is the snapshot key used by SharedAgent providers.
+const sharedPolicyKey = "shared"
+
 // SharedAgent is the one-for-all provider.
 type SharedAgent struct{ A *rl.Agent }
 
@@ -42,6 +84,40 @@ func (s SharedAgent) AgentFor(string) *rl.Agent { return s.A }
 
 // Agents implements AgentProvider.
 func (s SharedAgent) Agents() []*rl.Agent { return []*rl.Agent{s.A} }
+
+// SnapshotPolicies implements ReplicableProvider.
+func (s SharedAgent) SnapshotPolicies() (map[string]rl.Snapshot, error) {
+	snap, err := s.A.Save()
+	if err != nil {
+		return nil, err
+	}
+	return map[string]rl.Snapshot{sharedPolicyKey: snap}, nil
+}
+
+// NewReplica implements ReplicableProvider.
+func (s SharedAgent) NewReplica() ReplicaProvider {
+	cfg := s.A.Config()
+	cfg.BufferCap = 1 // replicas act; experience flows to the learner's buffer
+	return &sharedReplica{a: rl.New(cfg)}
+}
+
+// sharedReplica is a worker-local mirror of a SharedAgent.
+type sharedReplica struct{ a *rl.Agent }
+
+func (s *sharedReplica) AgentFor(string) *rl.Agent { return s.a }
+func (s *sharedReplica) Agents() []*rl.Agent       { return []*rl.Agent{s.a} }
+
+func (s *sharedReplica) SyncPolicies(m map[string]rl.Snapshot) error {
+	snap, ok := m[sharedPolicyKey]
+	if !ok {
+		return fmt.Errorf("core: snapshot set lacks %q policy", sharedPolicyKey)
+	}
+	return s.a.Load(snap)
+}
+
+func (s *sharedReplica) BeginEpisode(episodeSeed int64) {
+	s.a.Reseed(sim.DeriveSeed(episodeSeed, sharedPolicyKey))
+}
 
 // PerServiceAgents is the one-for-each provider; when Base is non-nil each
 // new agent warm-starts from it (transfer learning, §3.4). Init, when set,
@@ -52,6 +128,66 @@ type PerServiceAgents struct {
 	Base *rl.Agent
 	Init func(*rl.Agent)
 	m    map[string]*rl.Agent
+
+	// freshMu guards fresh: rollout workers race the learner for the first
+	// touch of a service. Everything else in the struct stays
+	// single-goroutine (the learner side of a rollout, or a lone
+	// controller).
+	freshMu sync.Mutex
+	fresh   map[string]rl.Snapshot
+}
+
+// freshPolicy returns the deterministic post-Init weights for service —
+// weight init from the service-derived seed, then Init (e.g. behaviour
+// cloning) — computing them at most once per service. Init can be orders
+// of magnitude more expensive than a weight copy, so the learner and every
+// rollout replica share this memo instead of re-deriving the same weights.
+// The Save/Load round-trip is exact here: Init leaves targets equal to the
+// online nets (New clones them; PretrainActor re-syncs the actor target),
+// which is precisely what Load reconstructs. Base transfer is NOT memoized
+// — TransferFrom is a cheap weight copy, and going through a Snapshot
+// would silently drop Base's target networks.
+func (p *PerServiceAgents) freshPolicy(service string, cfg rl.Config) rl.Snapshot {
+	p.freshMu.Lock()
+	defer p.freshMu.Unlock()
+	if snap, ok := p.fresh[service]; ok {
+		return snap
+	}
+	cfg.BufferCap = 1 // scratch agent: only its weights survive
+	a := rl.New(cfg)
+	p.Init(a)
+	snap, err := a.Save()
+	if err != nil {
+		panic(err) // in-memory marshal of a well-formed net cannot fail
+	}
+	if p.fresh == nil {
+		p.fresh = make(map[string]rl.Snapshot)
+	}
+	p.fresh[service] = snap
+	return snap
+}
+
+// warmStart applies the provider's deterministic fresh-construction rule to
+// a newly allocated agent: transfer from Base, else load the memoized Init
+// product, else keep the seed-derived init weights. The learner and every
+// worker replica share this one implementation — the rollout engine's
+// byte-equality guarantee depends on fresh construction being bit-identical
+// on both sides, so the rule must never be duplicated.
+func (p *PerServiceAgents) warmStart(a *rl.Agent, service string, cfg rl.Config) {
+	switch {
+	case p.Base != nil:
+		// Direct transfer preserves Base's (soft-updated) target networks,
+		// which a Snapshot round-trip would replace with Base's online
+		// nets. Init before a transfer would be overwritten, so skip it.
+		// Base is only ever read here, so concurrent replicas are safe.
+		if err := a.TransferFrom(p.Base); err != nil {
+			panic(err) // dims are fixed by construction
+		}
+	case p.Init != nil:
+		if err := a.Load(p.freshPolicy(service, cfg)); err != nil {
+			panic(err) // snapshot shape is fixed by construction
+		}
+	}
 }
 
 // AgentFor implements AgentProvider, creating agents lazily.
@@ -66,30 +202,108 @@ func (p *PerServiceAgents) AgentFor(service string) *rl.Agent {
 	// Derive a per-service seed so tailored agents differ deterministically.
 	cfg.Seed = sim.DeriveSeed(cfg.Seed, service)
 	a := rl.New(cfg)
-	if p.Init != nil {
-		p.Init(a)
-	}
-	if p.Base != nil {
-		if err := a.TransferFrom(p.Base); err != nil {
-			panic(err) // dims are fixed by construction
-		}
-	}
+	p.warmStart(a, service, cfg)
 	p.m[service] = a
 	return a
 }
 
 // Agents implements AgentProvider (deterministic order).
 func (p *PerServiceAgents) Agents() []*rl.Agent {
-	keys := make([]string, 0, len(p.m))
-	for k := range p.m {
+	return agentsSorted(p.m)
+}
+
+func agentsSorted(m map[string]*rl.Agent) []*rl.Agent {
+	keys := make([]string, 0, len(m))
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	out := make([]*rl.Agent, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, p.m[k])
+		out = append(out, m[k])
 	}
 	return out
+}
+
+// SnapshotPolicies implements ReplicableProvider (keyed by service).
+func (p *PerServiceAgents) SnapshotPolicies() (map[string]rl.Snapshot, error) {
+	out := make(map[string]rl.Snapshot, len(p.m))
+	for svc, a := range p.m {
+		snap, err := a.Save()
+		if err != nil {
+			return nil, err
+		}
+		out[svc] = snap
+	}
+	return out, nil
+}
+
+// NewReplica implements ReplicableProvider.
+func (p *PerServiceAgents) NewReplica() ReplicaProvider {
+	return &perServiceReplica{src: p}
+}
+
+// perServiceReplica mirrors a PerServiceAgents provider inside a rollout
+// worker. Services already snapshotted by the learner load those weights;
+// services the learner has not materialized yet are constructed through the
+// learner's exact creation path (per-service seed, Init, transfer), which
+// is deterministic — so a replica's weights never depend on which worker it
+// is or which episodes it happened to run.
+type perServiceReplica struct {
+	src    *PerServiceAgents
+	snaps  map[string]rl.Snapshot
+	epSeed int64
+	m      map[string]*rl.Agent
+}
+
+func (r *perServiceReplica) AgentFor(service string) *rl.Agent {
+	if a, ok := r.m[service]; ok {
+		return a
+	}
+	cfg := r.src.Cfg
+	cfg.Seed = sim.DeriveSeed(cfg.Seed, service)
+	cfg.BufferCap = 1 // acting replica: experience flows to the learner
+	a := rl.New(cfg)
+	// Prefer the learner's trained weights from the round snapshot; a
+	// service the learner has not materialized yet warm-starts through the
+	// learner's own warmStart rule, so the replica's acting policy is
+	// bit-identical to what the learner will construct when this service's
+	// first transition reaches it. (Replicas only act, so of the four
+	// networks only the actor matters.)
+	if snap, ok := r.snaps[service]; ok {
+		if err := a.Load(snap); err != nil {
+			panic(err) // snapshots come from agents of identical shape
+		}
+	} else {
+		r.src.warmStart(a, service, cfg)
+	}
+	a.Reseed(sim.DeriveSeed(r.epSeed, service))
+	if r.m == nil {
+		r.m = make(map[string]*rl.Agent)
+	}
+	r.m[service] = a
+	return a
+}
+
+func (r *perServiceReplica) Agents() []*rl.Agent { return agentsSorted(r.m) }
+
+func (r *perServiceReplica) SyncPolicies(m map[string]rl.Snapshot) error {
+	r.snaps = m
+	for svc, a := range r.m {
+		if snap, ok := m[svc]; ok {
+			if err := a.Load(snap); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *perServiceReplica) BeginEpisode(episodeSeed int64) {
+	r.epSeed = episodeSeed
+	for svc, a := range r.m {
+		a.Reseed(sim.DeriveSeed(episodeSeed, svc))
+	}
 }
 
 // Config tunes the FIRM controller.
@@ -115,6 +329,11 @@ type Config struct {
 	// control analogue of demonstration data and substantially shortens
 	// the exploration phase the paper spends its first ~1000 episodes on.
 	GuidedEps float64
+	// Sink, when non-nil, diverts every finalized transition (in emission
+	// order) away from the replay-buffer write and gradient step. Rollout
+	// actor workers set it to collect experience for a central learner;
+	// Training should be true alongside it so the policy still explores.
+	Sink TransitionSink
 	// IdleReclaim, when positive, gently decays limits of underutilized
 	// containers every IdleReclaim ticks during violation-free periods —
 	// FIRM's utilization objective is what drives the requested-CPU
@@ -276,7 +495,6 @@ func (c *Controller) flushPendingAt(done bool, p99 sim.Time) {
 		return
 	}
 	for _, p := range c.pending {
-		ag := c.prov.AgentFor(p.service)
 		culprit := p99 > c.app.SLO
 		sv := c.sb.SV(p99, culprit)
 		var util cluster.Vector
@@ -286,7 +504,13 @@ func (c *Controller) flushPendingAt(done bool, p99 sim.Time) {
 		r := agent.Reward(sv, util, c.cfg.Alpha)
 		c.RewardObserved++
 		s2 := c.sb.State(p.instance, p99, culprit)
-		ag.Observe(rl.Transition{S: p.state, A: p.action, R: r, S2: s2, Done: done})
+		tr := rl.Transition{S: p.state, A: p.action, R: r, S2: s2, Done: done}
+		if c.cfg.Sink != nil {
+			c.cfg.Sink(p.service, tr)
+			continue
+		}
+		ag := c.prov.AgentFor(p.service)
+		ag.Observe(tr)
 		if c.cfg.Training {
 			ag.TrainStep()
 		}

@@ -174,6 +174,128 @@ func TestResetEpisode(t *testing.T) {
 	}
 }
 
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSharedAgentReplicaMirrorsPolicy(t *testing.T) {
+	cfg := rl.DefaultConfig()
+	cfg.Seed = 11
+	learner := core.SharedAgent{A: rl.New(cfg)}
+	snaps, err := learner.SnapshotPolicies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := learner.NewReplica()
+	if err := rep.SyncPolicies(snaps); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	if !sameVec(learner.AgentFor("any").Act(probe), rep.AgentFor("any").Act(probe)) {
+		t.Fatal("synced replica must mirror the learner policy bit-for-bit")
+	}
+	// Exploration is a pure function of the episode seed, regardless of
+	// what the replica ran before.
+	rep.BeginEpisode(99)
+	first := rep.AgentFor("any").ActExplore(probe)
+	for i := 0; i < 25; i++ {
+		rep.AgentFor("any").ActExplore(probe)
+	}
+	rep.BeginEpisode(99)
+	if !sameVec(first, rep.AgentFor("any").ActExplore(probe)) {
+		t.Fatal("BeginEpisode must reset the exploration stream")
+	}
+	rep.BeginEpisode(100)
+	if sameVec(first, rep.AgentFor("any").ActExplore(probe)) {
+		t.Fatal("different episode seeds must explore differently")
+	}
+}
+
+func TestPerServiceReplicaLazyConstructionIsDeterministic(t *testing.T) {
+	mk := func() *core.PerServiceAgents {
+		cfg := rl.DefaultConfig()
+		cfg.Seed = 12
+		return &core.PerServiceAgents{Cfg: cfg}
+	}
+	learner := mk()
+	learner.AgentFor("svc-a") // materialized before the snapshot
+	snaps, err := learner.SnapshotPolicies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snaps["svc-a"]; !ok || len(snaps) != 1 {
+		t.Fatalf("snapshot keys: %v", snaps)
+	}
+	r1 := learner.NewReplica()
+	r2 := learner.NewReplica()
+	for _, r := range []core.ReplicaProvider{r1, r2} {
+		if err := r.SyncPolicies(snaps); err != nil {
+			t.Fatal(err)
+		}
+		r.BeginEpisode(7)
+	}
+	probe := []float64{0.4, -0.1, 0.9, 0.2, -0.7, 0.5, 0.3, 0.8}
+	if !sameVec(learner.AgentFor("svc-a").Act(probe), r1.AgentFor("svc-a").Act(probe)) {
+		t.Fatal("snapshotted service must load learner weights")
+	}
+	// svc-b is unknown to the learner: both replicas must construct it
+	// through the learner's creation path and agree bit-for-bit with each
+	// other AND with the learner's own later lazy construction.
+	b1 := r1.AgentFor("svc-b").Act(probe)
+	if !sameVec(b1, r2.AgentFor("svc-b").Act(probe)) {
+		t.Fatal("fresh construction must not depend on the replica instance")
+	}
+	if !sameVec(b1, learner.AgentFor("svc-b").Act(probe)) {
+		t.Fatal("replica fresh construction must match the learner's")
+	}
+	// Same episode seed → same exploration on both replicas for svc-b even
+	// though it was materialized mid-episode.
+	if !sameVec(r1.AgentFor("svc-b").ActExplore(probe), r2.AgentFor("svc-b").ActExplore(probe)) {
+		t.Fatal("mid-episode construction must reseed from the episode seed")
+	}
+}
+
+func TestSinkDivertsTransitionsFromLearner(t *testing.T) {
+	b := bench(t, 4)
+	b.AttachWorkload(workload.Constant{RPS: 150})
+	cfg := core.DefaultConfig()
+	cfg.Training = true
+	var got int
+	cfg.Sink = func(service string, tr rl.Transition) {
+		if service == "" || len(tr.S) == 0 || len(tr.A) == 0 {
+			t.Fatalf("malformed transition for %q: %+v", service, tr)
+		}
+		got++
+	}
+	prov := harness.SharedAgent(4)
+	ctl := b.AttachFIRM(cfg, prov, nil)
+	victim := b.Cluster.ReplicaSet("search").Containers()[0]
+	b.Injector.Inject(injector.Injection{
+		Kind: injector.MemBWStress, Target: victim, Intensity: 1,
+		Duration: 20 * sim.Second,
+	})
+	b.Eng.RunFor(30 * sim.Second)
+	ctl.ResetEpisode() // terminal flush must also go through the sink
+	if got == 0 {
+		t.Fatal("sink never received a transition")
+	}
+	ag := prov.Agents()[0]
+	if ag.Buffer().Len() != 0 {
+		t.Fatalf("sink mode must not write the replay buffer (%d entries)", ag.Buffer().Len())
+	}
+	if ag.Updates != 0 {
+		t.Fatalf("sink mode must not step gradients (%d updates)", ag.Updates)
+	}
+}
+
 func TestMitigationTimeEmptyMeanIsZero(t *testing.T) {
 	b := bench(t, 8)
 	ctl := b.AttachFIRM(core.DefaultConfig(), harness.SharedAgent(8), nil)

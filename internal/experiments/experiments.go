@@ -40,6 +40,13 @@ func QuickScale() Scale {
 	return Scale{Name: "quick", DurationMul: 0.25, EpisodeCount: 40, CheckpointEvery: 8, Reps: 3}
 }
 
+// TinyScale is the smallest campaign that still has every experiment's
+// moving parts (multiple episodes, checkpoints, repetitions). Golden-output
+// regression tests and CI determinism smoke runs use it.
+func TinyScale() Scale {
+	return Scale{Name: "tiny", DurationMul: 0.05, EpisodeCount: 5, CheckpointEvery: 2, Reps: 1}
+}
+
 // FullScale approximates the paper's experiment sizes.
 func FullScale() Scale {
 	return Scale{Name: "full", DurationMul: 1, EpisodeCount: 400, CheckpointEvery: 40, Reps: 10}

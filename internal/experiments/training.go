@@ -1,14 +1,16 @@
 package experiments
 
 import (
-	"firm/internal/cluster"
 	"fmt"
+
+	"firm/internal/cluster"
 
 	"firm/internal/core"
 	"firm/internal/detect"
 	"firm/internal/harness"
 	"firm/internal/injector"
 	"firm/internal/rl"
+	"firm/internal/rollout"
 	"firm/internal/runner"
 	"firm/internal/sim"
 	"firm/internal/stats"
@@ -68,12 +70,25 @@ type TrainOpts struct {
 	Base *rl.Agent
 	// CheckpointEvery snapshots the (shared) agent for Fig. 11(b); 0 = off.
 	CheckpointEvery int
+	// RolloutWorkers pins the episode-rollout worker count (> 0); <= 0
+	// defers to internal/rollout's knob and the shared -parallel budget.
+	// Worker count never changes the trained weights.
+	RolloutWorkers int
+	// SyncEvery is the rollout round width (episodes per weight sync); 0
+	// uses rollout.DefaultSyncEvery. Unlike RolloutWorkers it shapes the
+	// trained weights.
+	SyncEvery int
 }
 
 // Train runs an RL training campaign on the given benchmark (the paper
 // trains on Train-Ticket, §4.3): each episode deploys a fresh cluster,
-// drives it with load plus the randomized anomaly campaign, and lets the
-// FIRM controller learn online.
+// drives it with load plus the randomized anomaly campaign, and the FIRM
+// controller's experience feeds a central DDPG learner.
+//
+// Episodes execute on internal/rollout's deterministic actor-learner
+// engine: workers act with policy replicas synced every SyncEvery episodes
+// and stream transitions to the learner, which applies them in episode
+// order — so results are byte-identical at any worker count.
 func Train(opts TrainOpts) (*TrainResult, error) {
 	if opts.Spec == nil {
 		opts.Spec = topology.TrainTicket()
@@ -85,7 +100,7 @@ func Train(opts TrainOpts) (*TrainResult, error) {
 	// before DDPG refinement: the paper's from-scratch exploration spans
 	// ~15000 episodes, which this reproduction compresses (see DESIGN.md).
 	bc := func(ag *rl.Agent) { pretrainGuided(ag, opts.Seed) }
-	var prov core.AgentProvider
+	var prov core.ReplicableProvider
 	switch opts.Variant {
 	case OneForAll:
 		cfg := rl.DefaultConfig()
@@ -105,7 +120,14 @@ func Train(opts TrainOpts) (*TrainResult, error) {
 	res := &TrainResult{Variant: opts.Variant, Provider: prov}
 	ma := stats.NewMovingAvg(8)
 
-	for ep := 0; ep < opts.Episodes; ep++ {
+	// One pre-trained extractor serves every episode: the controller only
+	// reads it, so sharing it across episodes — and across concurrent
+	// rollout workers — is behavior-identical to the per-episode pretrain
+	// it replaces (same seed, same synthetic data) at a fraction of the
+	// cost.
+	ext := harness.NewExtractor(opts.Seed)
+
+	runEpisode := func(ep int, rp core.AgentProvider, sink core.TransitionSink) (float64, error) {
 		// The environment seed is fixed across episodes: §4.3 trains all
 		// models "subjected to the same sequence of performance anomaly
 		// injections", so only the agent's exploration varies per episode.
@@ -116,13 +138,14 @@ func Train(opts TrainOpts) (*TrainResult, error) {
 			CalibrationN: 6,
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		b.AttachWorkload(workload.Constant{RPS: 120})
 		cfg := core.DefaultConfig()
 		cfg.Training = true
 		cfg.IdleReclaim = 0 // hold provisioning constant while learning mitigation
-		ctl := b.AttachFIRM(cfg, prov, nil)
+		cfg.Sink = sink     // divert experience to the central learner
+		ctl := b.AttachFIRM(cfg, rp, ext)
 		camp := injector.DefaultCampaign(b.Injector, b.Containers())
 		// Denser, longer injections than steady state accelerate
 		// exploration (§3.6: the injector exists to span the trade-off
@@ -135,20 +158,37 @@ func Train(opts TrainOpts) (*TrainResult, error) {
 		camp.Start()
 		b.Eng.RunFor(episodeDuration)
 		camp.Stop()
-		res.Rewards = append(res.Rewards, ctl.EpisodeReward)
-		res.Smoothed = append(res.Smoothed, ma.Add(ctl.EpisodeReward))
-		ctl.ResetEpisode()
+		reward := ctl.EpisodeReward
+		ctl.ResetEpisode() // terminal-flush outstanding transitions into sink
+		return reward, nil
+	}
 
-		if opts.CheckpointEvery > 0 && (ep+1)%opts.CheckpointEvery == 0 {
-			if agents := prov.Agents(); len(agents) > 0 {
-				snap, err := agents[0].Save()
-				if err != nil {
-					return nil, err
+	_, err := rollout.Run(rollout.Options{
+		Episodes:   opts.Episodes,
+		Workers:    opts.RolloutWorkers,
+		SyncEvery:  opts.SyncEvery,
+		Seed:       opts.Seed,
+		Key:        "rollout/" + opts.Variant.String(),
+		Learner:    prov,
+		RunEpisode: runEpisode,
+		AfterEpisode: func(ep int, reward float64) error {
+			res.Rewards = append(res.Rewards, reward)
+			res.Smoothed = append(res.Smoothed, ma.Add(reward))
+			if opts.CheckpointEvery > 0 && (ep+1)%opts.CheckpointEvery == 0 {
+				if agents := prov.Agents(); len(agents) > 0 {
+					snap, err := agents[0].Save()
+					if err != nil {
+						return err
+					}
+					res.Checkpoints = append(res.Checkpoints, snap)
+					res.CheckpointEp = append(res.CheckpointEp, ep+1)
 				}
-				res.Checkpoints = append(res.Checkpoints, snap)
-				res.CheckpointEp = append(res.CheckpointEp, ep+1)
 			}
-		}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -194,12 +234,13 @@ type Fig11aResult struct {
 	ConvergedEpisode map[string]int
 }
 
-// Fig11a runs the three training campaigns. Episodes within a variant are
-// inherently sequential (the agent carries state between episodes), but the
-// variants themselves are independent: One-for-All and One-for-Each run as
-// parallel jobs; Transferred must wait for One-for-All's trained base. All
-// variants share the experiment seed on purpose — §4.3 trains every model
-// "subjected to the same sequence of performance anomaly injections".
+// Fig11a runs the three training campaigns. The variants are independent:
+// One-for-All and One-for-Each run as parallel jobs; Transferred must wait
+// for One-for-All's trained base. Within a variant, episode rollouts
+// parallelize on internal/rollout's actor-learner engine, drawing workers
+// from the same -parallel budget as the job pool. All variants share the
+// experiment seed on purpose — §4.3 trains every model "subjected to the
+// same sequence of performance anomaly injections".
 func Fig11a(sc Scale, seed int64) (*Fig11aResult, error) {
 	spec := topology.TrainTicket()
 	firstTwo, err := runner.Map(seed, []runner.Job[*TrainResult]{
@@ -301,8 +342,10 @@ func Fig11b(sc Scale, seed int64) (*Fig11bResult, error) {
 	if sc.DurationMul >= 1 {
 		events = 20
 	}
-	// Training is sequential (checkpoints are snapshots of one evolving
-	// agent), but everything downstream is an independent evaluation: one
+	// Checkpoints are snapshots of one evolving learner — the rollout
+	// engine applies gradients in fixed episode order even when episode
+	// rollouts run in parallel — and everything downstream is an
+	// independent evaluation: one
 	// job per checkpoint, one for the fine-tuned multi-RL pipeline, one per
 	// rule-based baseline. Every evaluation runs the identical seed+500
 	// event protocol — the figure compares policies on the same anomaly

@@ -150,13 +150,22 @@ func (b *Bench) AttachWorkload(p workload.Pattern) *workload.Generator {
 	return b.Gen
 }
 
-// NewExtractor builds a pre-trained critical-component extractor.
-func (b *Bench) NewExtractor() *detect.Extractor {
+// NewExtractor builds a pre-trained critical-component extractor for the
+// given seed. The controller only reads it (Candidates/Decision), so one
+// extractor may be shared across many benches — including concurrently by
+// rollout workers — as long as nothing calls its online Train.
+func NewExtractor(seed int64) *detect.Extractor {
 	ext := detect.New(detect.DefaultConfig(), svm.New(svm.DefaultConfig()))
-	if err := ext.Pretrain(b.Opts.Seed, 4000); err != nil {
+	if err := ext.Pretrain(seed, 4000); err != nil {
 		panic(err) // deterministic synthetic data cannot fail
 	}
 	return ext
+}
+
+// NewExtractor builds a pre-trained critical-component extractor seeded by
+// the bench seed.
+func (b *Bench) NewExtractor() *detect.Extractor {
+	return NewExtractor(b.Opts.Seed)
 }
 
 // AttachFIRM wires and starts a FIRM controller with the given agents.

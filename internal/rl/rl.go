@@ -58,10 +58,25 @@ func (b *ReplayBuffer) Len() int {
 	return b.pos
 }
 
-// Sample draws n transitions uniformly with replacement.
+// At returns the i-th oldest stored transition, i in [0, Len()).
+func (b *ReplayBuffer) At(i int) Transition {
+	if i < 0 || i >= b.Len() {
+		panic("rl: replay index out of range")
+	}
+	if !b.full {
+		return b.buf[i]
+	}
+	return b.buf[(b.pos+i)%b.cap]
+}
+
+// Sample draws exactly n transitions uniformly with replacement (n may
+// exceed Len; duplicates are then guaranteed, which is the standard
+// with-replacement semantics minibatch SGD assumes). n <= 0 or an empty
+// buffer yields nil — never a panic — so callers batching freshly collected
+// transitions can call it unconditionally.
 func (b *ReplayBuffer) Sample(r *rand.Rand, n int) []Transition {
 	ln := b.Len()
-	if ln == 0 {
+	if ln == 0 || n <= 0 {
 		return nil
 	}
 	out := make([]Transition, n)
@@ -222,6 +237,15 @@ func (a *Agent) ActExplore(state []float64) []float64 {
 
 // ResetNoise re-centres exploration noise (start of episode).
 func (a *Agent) ResetNoise() { a.noise.Reset() }
+
+// Reseed replaces the agent's private RNG and re-centres exploration noise.
+// Rollout replicas (internal/rollout) call it at every episode boundary so
+// an episode's exploration stream is a pure function of its episode seed —
+// independent of which worker runs the episode or what it ran before.
+func (a *Agent) Reseed(seed int64) {
+	a.rng = rand.New(rand.NewSource(seed))
+	a.noise.Reset()
+}
 
 // Observe stores a transition in the replay buffer (Alg. 3 line 10).
 func (a *Agent) Observe(t Transition) { a.buf.Add(t) }

@@ -299,6 +299,255 @@ func TestConfigDefaultsMatchTable4(t *testing.T) {
 	}
 }
 
+func TestReplayBufferWraparoundOrder(t *testing.T) {
+	b := NewReplayBuffer(4)
+	for i := 0; i < 3; i++ {
+		b.Add(Transition{R: float64(i)})
+	}
+	// Not yet wrapped: At indexes from the first insertion.
+	for i := 0; i < 3; i++ {
+		if b.At(i).R != float64(i) {
+			t.Fatalf("At(%d) = %v before wrap", i, b.At(i).R)
+		}
+	}
+	for i := 3; i < 10; i++ {
+		b.Add(Transition{R: float64(i)})
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d at capacity", b.Len())
+	}
+	// 10 insertions into cap 4: oldest six evicted in insertion order,
+	// survivors are 6,7,8,9 oldest-first.
+	for i := 0; i < 4; i++ {
+		if got, want := b.At(i).R, float64(6+i); got != want {
+			t.Fatalf("At(%d) = %v, want %v (eviction must be FIFO)", i, got, want)
+		}
+	}
+}
+
+func TestReplayBufferAtPanicsOutOfRange(t *testing.T) {
+	b := NewReplayBuffer(2)
+	b.Add(Transition{})
+	for _, i := range []int{-1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d) must panic with Len 1", i)
+				}
+			}()
+			b.At(i)
+		}()
+	}
+}
+
+func TestReplayBufferSampleBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	b := NewReplayBuffer(8)
+	// Empty buffer: nil for any n.
+	if b.Sample(r, 5) != nil {
+		t.Fatal("empty buffer must sample nil")
+	}
+	b.Add(Transition{R: 1})
+	b.Add(Transition{R: 2})
+	// n <= 0: nil, never a panic (a negative make() used to panic here).
+	if b.Sample(r, 0) != nil || b.Sample(r, -3) != nil {
+		t.Fatal("n <= 0 must sample nil")
+	}
+	// n > Len: exactly n draws with replacement, all from live contents.
+	out := b.Sample(r, 50)
+	if len(out) != 50 {
+		t.Fatalf("want 50 with-replacement draws, got %d", len(out))
+	}
+	for _, tr := range out {
+		if tr.R != 1 && tr.R != 2 {
+			t.Fatalf("sampled transition %v not in buffer", tr.R)
+		}
+	}
+}
+
+func TestReplayBufferSampleDeterministic(t *testing.T) {
+	b := NewReplayBuffer(16)
+	for i := 0; i < 16; i++ {
+		b.Add(Transition{R: float64(i)})
+	}
+	draw := func() []float64 {
+		r := rand.New(rand.NewSource(21))
+		var out []float64
+		for _, tr := range b.Sample(r, 40) {
+			out = append(out, tr.R)
+		}
+		return out
+	}
+	if !same(draw(), draw()) {
+		t.Fatal("Sample must be a pure function of the RNG state")
+	}
+}
+
+func TestOUNoiseResetRestartsProcess(t *testing.T) {
+	o := NewOUNoise(3, 0.15, 0.2)
+	first := append([]float64(nil), o.Sample(rand.New(rand.NewSource(31)))...)
+	for i := 0; i < 100; i++ {
+		o.Sample(rand.New(rand.NewSource(int64(i))))
+	}
+	o.Reset()
+	// After Reset the process re-centres at zero, so with the same RNG the
+	// first sample repeats exactly.
+	if !same(first, o.Sample(rand.New(rand.NewSource(31)))) {
+		t.Fatal("Reset must re-centre the process state at 0")
+	}
+}
+
+func TestReseedMakesExplorationReproducible(t *testing.T) {
+	a := New(DefaultConfig())
+	s := make([]float64, 8)
+	for i := range s {
+		s[i] = 0.1 * float64(i)
+	}
+	seq := func() [][]float64 {
+		a.Reseed(77)
+		var out [][]float64
+		for i := 0; i < 5; i++ {
+			out = append(out, a.ActExplore(s))
+		}
+		return out
+	}
+	s1 := seq()
+	// Perturb the RNG and noise state, then reseed again.
+	for i := 0; i < 50; i++ {
+		a.ActExplore(s)
+	}
+	s2 := seq()
+	for i := range s1 {
+		if !same(s1[i], s2[i]) {
+			t.Fatalf("step %d: exploration not a pure function of the reseed", i)
+		}
+	}
+}
+
+// trainEquivalent drives both agents through an identical observe/train
+// protocol and reports whether their policies stay bit-equal — the property
+// rollout replicas rely on: snapshot → load (or transfer) must reproduce
+// actor, critic, AND target networks, or subsequent training diverges.
+func trainEquivalent(t *testing.T, a, b *Agent) {
+	t.Helper()
+	a.Reseed(55)
+	b.Reseed(55)
+	r := rand.New(rand.NewSource(56))
+	for i := 0; i < 200; i++ {
+		s := []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64(),
+			r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+		tr := Transition{S: s, A: a.Act(s), R: r.Float64(), S2: s, Done: i%10 == 9}
+		a.Observe(tr)
+		b.Observe(tr)
+		la, oka := a.TrainStep()
+		lb, okb := b.TrainStep()
+		if oka != okb || la != lb {
+			t.Fatalf("step %d: training diverged (loss %v vs %v)", i, la, lb)
+		}
+	}
+	probe := []float64{0.2, -0.4, 0.6, 0.1, -0.9, 0.3, 0.5, -0.1}
+	if !same(a.Act(probe), b.Act(probe)) {
+		t.Fatal("policies diverged after identical training")
+	}
+	if a.Q(probe, a.Act(probe)) != b.Q(probe, b.Act(probe)) {
+		t.Fatal("critics diverged after identical training")
+	}
+}
+
+func TestSnapshotMutateLoadRestoresBitEqual(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 41
+	cfg.ActorDelay = 20 // let the mutation phase move the actor, not just the critic
+	a := New(cfg)
+	// Give the agent non-initial weights before snapshotting.
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 150; i++ {
+		s := []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64(),
+			r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+		a.Observe(Transition{S: s, A: a.ActExplore(s), R: r.Float64(), S2: s, Done: true})
+		a.TrainStep()
+	}
+	snap, err := a.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.7, -0.2, 0.4, 0.9, -0.5, 0.1, 0.3, -0.8}
+	wantAct := a.Act(probe)
+	wantQ := a.Q(probe, wantAct)
+
+	// Mutate: keep training past the snapshot.
+	for i := 0; i < 60; i++ {
+		s := []float64{r.Float64(), 0, 0, 0, 0, 0, 0, 0}
+		a.Observe(Transition{S: s, A: a.ActExplore(s), R: 1, S2: s, Done: true})
+		a.TrainStep()
+	}
+	if same(wantAct, a.Act(probe)) {
+		t.Fatal("sanity: mutation must move the policy")
+	}
+	if err := a.Load(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !same(wantAct, a.Act(probe)) {
+		t.Fatal("Load must restore the actor bit-for-bit")
+	}
+	if got := a.Q(probe, wantAct); got != wantQ {
+		t.Fatalf("Load must restore the critic bit-for-bit (%v != %v)", got, wantQ)
+	}
+	// Targets are hard-copied on Load: two fresh agents loaded from the same
+	// snapshot (same empty buffer, same update counter) must evolve
+	// identically under an identical protocol.
+	cfg.Seed = 43
+	b := New(cfg)
+	if err := b.Load(snap); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 49
+	c := New(cfg)
+	if err := c.Load(snap); err != nil {
+		t.Fatal(err)
+	}
+	trainEquivalent(t, b, c)
+}
+
+func TestTransferFromRoundTripTrainsEquivalently(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 44
+	src := New(cfg)
+	r := rand.New(rand.NewSource(45))
+	for i := 0; i < 120; i++ {
+		s := []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64(),
+			r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+		src.Observe(Transition{S: s, A: src.ActExplore(s), R: r.Float64(), S2: s, Done: true})
+		src.TrainStep()
+	}
+	cfg.Seed = 46
+	dst := New(cfg)
+	if err := dst.TransferFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	// TransferFrom copies all four networks (actor, critic, both targets):
+	// two transferred agents must train in lockstep from here.
+	cfg.Seed = 47
+	ref := New(cfg)
+	if err := ref.TransferFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	trainEquivalent(t, dst, ref)
+
+	// A minimal-buffer acting replica still mirrors the policy exactly:
+	// replay capacity must not leak into the weights.
+	cfg.Seed = 48
+	cfg.BufferCap = 1
+	replica := New(cfg)
+	if err := replica.TransferFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3}
+	if !same(replica.Act(probe), src.Act(probe)) {
+		t.Fatal("replica policy must match source bit-for-bit")
+	}
+}
+
 func same(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false

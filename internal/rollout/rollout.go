@@ -1,0 +1,240 @@
+// Package rollout parallelizes RL episode rollouts without giving up
+// bit-reproducibility — the A3C/Gorila actor-learner decomposition applied
+// to FIRM's DDPG training campaigns.
+//
+// K actor workers each hold a cheap policy replica (weight snapshots loaded
+// via rl.Agent.Save/Load through core.ReplicaProvider). Episodes are
+// processed in rounds of SyncEvery: at a round boundary the learner's
+// current weights are snapshotted, the round's episodes run concurrently on
+// the workers — each seeded by sim.DeriveSeed(campaignSeed, episodeKey), so
+// an episode's trajectory is a pure function of the round snapshot and its
+// episode key — and their transition streams are buffered. Behind the
+// round barrier a single learner goroutine replays the streams in episode
+// order, applying replay-buffer writes and TrainStep gradients exactly as
+// the online controller would have. Trained weights — and therefore
+// firmbench stdout — are byte-identical at any worker count; only
+// wall-clock changes.
+//
+// The semantic difference from fully-online training is the classic A3C
+// trade: within a round, actors follow a policy up to SyncEvery-1 episodes
+// stale. Determinism is preserved because staleness depends only on episode
+// index, never on scheduling.
+//
+// Worker budget: an explicit Workers count is honored as-is (tests pin 1,
+// 2, 8 against each other); Workers <= 0 consults the package default
+// (SetWorkers, the CLI's -rollout flag) and, when that is also 0, borrows
+// spare slots from internal/runner's -parallel budget so outer job
+// parallelism and inner rollout parallelism share one pool.
+package rollout
+
+import (
+	"fmt"
+	"sync"
+
+	"firm/internal/core"
+	"firm/internal/rl"
+	"firm/internal/runner"
+	"firm/internal/sim"
+)
+
+// DefaultSyncEvery is the episodes-per-round barrier width when Options
+// leaves SyncEvery unset. It is a fixed constant on purpose: round layout
+// shapes the trained weights, so it must never be derived from worker
+// count or machine shape.
+const DefaultSyncEvery = 8
+
+var (
+	mu             sync.Mutex
+	defaultWorkers int // 0 = borrow from the runner budget
+)
+
+// SetWorkers sets the package-default actor worker count used when
+// Options.Workers <= 0. n <= 0 restores budget-sharing with internal/runner
+// (the default). cmd/firmbench wires its -rollout flag here.
+func SetWorkers(n int) {
+	mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers = n
+	mu.Unlock()
+}
+
+// Workers returns the package-default actor worker count (0 = share the
+// runner budget).
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return defaultWorkers
+}
+
+// Options configures one rollout campaign.
+type Options struct {
+	// Episodes is the total episode count.
+	Episodes int
+	// Workers is the actor worker count. > 0 is honored exactly (capped at
+	// the round width, beyond which workers would idle); <= 0 resolves via
+	// SetWorkers and then the shared runner budget. Worker count NEVER
+	// affects results.
+	Workers int
+	// SyncEvery is the round width: how many episodes run against one
+	// learner snapshot before the gradient barrier. <= 0 uses
+	// DefaultSyncEvery. Unlike Workers, SyncEvery DOES shape the trained
+	// weights (it sets policy staleness), so it must be configuration,
+	// never inferred from the machine.
+	SyncEvery int
+	// Seed is the campaign seed episode seeds derive from.
+	Seed int64
+	// Key is the stable campaign key prefix; episode ep's seed is
+	// sim.DeriveSeed(Seed, Key+"/ep<ep>").
+	Key string
+	// Learner owns the canonical weights: snapshotted at round boundaries,
+	// trained in episode order behind the barrier.
+	Learner core.ReplicableProvider
+	// RunEpisode executes environment episode ep, acting through prov and
+	// emitting every finalized transition to sink in order (wire sink into
+	// core.Config.Sink). It runs on a worker goroutine: it must not touch
+	// state shared with other episodes except read-only inputs. The
+	// returned reward is the episode's training reward.
+	RunEpisode func(ep int, prov core.AgentProvider, sink core.TransitionSink) (float64, error)
+	// AfterEpisode, when non-nil, runs on the learner goroutine after
+	// episode ep's transitions have been applied — strictly in episode
+	// order (checkpointing, reward bookkeeping).
+	AfterEpisode func(ep int, reward float64) error
+}
+
+// obs is one collected transition, tagged with its emitting service.
+type obs struct {
+	service string
+	t       rl.Transition
+}
+
+// epOut is one episode's buffered outcome.
+type epOut struct {
+	reward float64
+	obs    []obs
+	err    error
+}
+
+// Run executes the campaign and returns per-episode rewards in episode
+// order. On episode failure it returns the first error in episode order
+// (deterministic at any worker count); the learner keeps the updates from
+// every episode before the failing one.
+func Run(opts Options) ([]float64, error) {
+	if opts.Learner == nil {
+		return nil, fmt.Errorf("rollout: Learner is required")
+	}
+	if opts.RunEpisode == nil {
+		return nil, fmt.Errorf("rollout: RunEpisode is required")
+	}
+	if opts.Episodes <= 0 {
+		return nil, nil
+	}
+	syncEvery := opts.SyncEvery
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncEvery
+	}
+
+	// Pinned worker count (explicit option or package knob); 0 = budget
+	// mode, where each round borrows spare runner slots and returns them at
+	// its barrier, so the sequential learner phase never hoards the pool.
+	pinned := opts.Workers
+	if pinned <= 0 {
+		pinned = Workers()
+	}
+
+	// Persistent replicas, one per worker slot, grown to the widest round
+	// and synced at round boundaries.
+	var replicas []core.ReplicaProvider
+
+	rewards := make([]float64, 0, opts.Episodes)
+	outs := make([]epOut, syncEvery)
+	for r0 := 0; r0 < opts.Episodes; r0 += syncEvery {
+		n := syncEvery
+		if rest := opts.Episodes - r0; n > rest {
+			n = rest
+		}
+		nw := pinned
+		borrowed := 0
+		if nw <= 0 {
+			// The calling goroutine is one actor for free; extra actors run
+			// only on slots the job pool leaves spare right now.
+			borrowed = runner.AcquireUpTo(n - 1)
+			nw = 1 + borrowed
+		}
+		if nw > n {
+			nw = n // extra workers would idle within this round
+		}
+		for len(replicas) < nw {
+			replicas = append(replicas, opts.Learner.NewReplica())
+		}
+		snaps, err := opts.Learner.SnapshotPolicies()
+		if err != nil {
+			runner.ReleaseSlots(borrowed)
+			return nil, fmt.Errorf("rollout: snapshot before episode %d: %w", r0, err)
+		}
+		for i := 0; i < nw; i++ {
+			if err := replicas[i].SyncPolicies(snaps); err != nil {
+				runner.ReleaseSlots(borrowed)
+				return nil, fmt.Errorf("rollout: sync before episode %d: %w", r0, err)
+			}
+		}
+
+		runOne := func(rep core.ReplicaProvider, i int) {
+			ep := r0 + i
+			rep.BeginEpisode(sim.DeriveSeed(opts.Seed, fmt.Sprintf("%s/ep%d", opts.Key, ep)))
+			var collected []obs
+			sink := func(service string, t rl.Transition) {
+				collected = append(collected, obs{service: service, t: t})
+			}
+			reward, err := opts.RunEpisode(ep, rep, sink)
+			outs[i] = epOut{reward: reward, obs: collected, err: err}
+		}
+
+		if nw <= 1 {
+			for i := 0; i < n; i++ {
+				runOne(replicas[0], i)
+			}
+		} else {
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(rep core.ReplicaProvider) {
+					defer wg.Done()
+					for i := range idx {
+						runOne(rep, i)
+					}
+				}(replicas[w])
+			}
+			for i := 0; i < n; i++ {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait() // round barrier: no episode of round r+1 sees stale weights
+		}
+		// The learner phase is single-goroutine: give borrowed slots back
+		// before it starts so sibling campaigns can use them meanwhile.
+		runner.ReleaseSlots(borrowed)
+
+		// Learner phase: replay transition streams in episode order, exactly
+		// as the online controller would have observed and trained on them.
+		for i := 0; i < n; i++ {
+			if outs[i].err != nil {
+				return nil, fmt.Errorf("rollout: episode %d: %w", r0+i, outs[i].err)
+			}
+			for _, o := range outs[i].obs {
+				ag := opts.Learner.AgentFor(o.service)
+				ag.Observe(o.t)
+				ag.TrainStep()
+			}
+			rewards = append(rewards, outs[i].reward)
+			if opts.AfterEpisode != nil {
+				if err := opts.AfterEpisode(r0+i, outs[i].reward); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return rewards, nil
+}

@@ -47,6 +47,7 @@ type Event struct {
 var (
 	mu       sync.Mutex
 	workers  = runtime.GOMAXPROCS(0)
+	active   int // execution slots in use: running jobs + loaned slots
 	progress func(Event)
 )
 
@@ -66,6 +67,54 @@ func Workers() int {
 	mu.Lock()
 	defer mu.Unlock()
 	return workers
+}
+
+// AcquireUpTo claims up to n spare execution slots from the -parallel
+// budget and returns how many were claimed (possibly 0; never blocks). The
+// budget is shared between campaign jobs (Map) and inner episode-rollout
+// workers (internal/rollout): a rollout running while the job pool is
+// saturated degrades to its caller's goroutine alone, and a lone heavy job
+// gets the whole pool for its rollouts. Claims must be returned with
+// ReleaseSlots. Slot accounting never affects results — every parallelized
+// unit is byte-deterministic at any worker count.
+func AcquireUpTo(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	spare := workers - active
+	if n > spare {
+		n = spare
+	}
+	if n < 0 {
+		n = 0
+	}
+	active += n
+	return n
+}
+
+// ReleaseSlots returns slots claimed with AcquireUpTo.
+func ReleaseSlots(n int) {
+	if n <= 0 {
+		return
+	}
+	mu.Lock()
+	active -= n
+	if active < 0 {
+		active = 0
+	}
+	mu.Unlock()
+}
+
+// jobRunning accounts one executing job in the shared slot budget.
+func jobRunning(delta int) {
+	mu.Lock()
+	active += delta
+	if active < 0 {
+		active = 0
+	}
+	mu.Unlock()
 }
 
 // SetProgress installs a hook invoked (serialized, in completion order) as
@@ -114,7 +163,9 @@ func MapN[T any](nWorkers int, campaignSeed int64, jobs []Job[T]) ([]T, error) {
 	if nWorkers <= 1 {
 		// Inline fast path: no goroutines, same semantics.
 		for i, j := range jobs {
+			jobRunning(1)
 			results[i], errs[i] = j.Run(sim.DeriveSeed(campaignSeed, j.Key))
+			jobRunning(-1)
 			report(Event{Key: j.Key, Done: i + 1, N: len(jobs), Err: errs[i]})
 			if errs[i] != nil {
 				break
@@ -136,7 +187,9 @@ func MapN[T any](nWorkers int, campaignSeed int64, jobs []Job[T]) ([]T, error) {
 					continue // fail-fast: drain without running
 				}
 				j := jobs[i]
+				jobRunning(1)
 				results[i], errs[i] = j.Run(sim.DeriveSeed(campaignSeed, j.Key))
+				jobRunning(-1)
 				if errs[i] != nil {
 					failed.Store(true)
 				}

@@ -152,6 +152,50 @@ func TestSetWorkersClampsAndRestores(t *testing.T) {
 	}
 }
 
+func TestAcquireUpToRespectsBudget(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(4)
+	if got := AcquireUpTo(10); got != 4 {
+		t.Fatalf("AcquireUpTo(10) with budget 4 = %d", got)
+	}
+	if got := AcquireUpTo(1); got != 0 {
+		t.Fatalf("exhausted budget must lend 0, got %d", got)
+	}
+	ReleaseSlots(4)
+	if got := AcquireUpTo(2); got != 2 {
+		t.Fatalf("after release: AcquireUpTo(2) = %d", got)
+	}
+	ReleaseSlots(2)
+	if got := AcquireUpTo(0); got != 0 {
+		t.Fatalf("AcquireUpTo(0) = %d", got)
+	}
+	if got := AcquireUpTo(-3); got != 0 {
+		t.Fatalf("AcquireUpTo(-3) = %d", got)
+	}
+}
+
+func TestMapJobsOccupyBudgetSlots(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(3)
+	// While a job runs it holds one slot, so an inner rollout asking for the
+	// whole pool can only borrow what the job pool left spare.
+	var spareSeen int
+	jobs := []Job[int]{{Key: "probe", Run: func(int64) (int, error) {
+		n := AcquireUpTo(10)
+		spareSeen = n
+		ReleaseSlots(n)
+		return 0, nil
+	}}}
+	if _, err := MapN(1, 0, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if spareSeen != 2 {
+		t.Fatalf("job saw %d spare slots, want 2 of a 3-slot budget", spareSeen)
+	}
+}
+
 func TestKeyJoinsSegments(t *testing.T) {
 	if got := Key("fig5", "cpu", 250, "rep", 0); got != "fig5/cpu/250/rep/0" {
 		t.Fatalf("Key: %q", got)
