@@ -7,9 +7,25 @@
 //	firmbench -run fig3 -scale quick -seed 42
 //	firmbench -run all -scale full -parallel 8
 //	firmbench -run fig11b -scale tiny -rollout 4
+//	firmbench -run all -scale tiny -json results.json
+//	firmbench -diff [-tol 0.05] [-tol-metric p99=0.1] a.json b.json
 //
 // Each experiment prints the rows/series of the corresponding paper
-// artifact; EXPERIMENTS.md records paper-vs-measured values.
+// artifact; the README's layout table maps packages to paper sections.
+//
+// -json <path|-> additionally emits the campaign's results as one
+// canonical-JSON file (internal/report's record schema): every experiment
+// converts into typed rows/series with named metrics and units, floats in
+// shortest round-trip form, keys in fixed order. The encoding carries no
+// machine-local configuration, so the file is byte-identical across
+// -parallel/-rollout worker counts, and diffable across machines. With
+// "-" the JSON goes to stdout and the text reports move to stderr.
+//
+// -diff compares two such files metric-by-metric and exits non-zero on
+// mismatches. -tol sets the default relative tolerance (0 = exact);
+// -tol-metric name=x overrides it per metric and may repeat. Campaign
+// configuration differences (seed, scale) are reported as notes, not
+// mismatches, so tolerant cross-seed comparisons are possible.
 //
 // Fan-out experiments (sweeps, repetitions, per-policy and per-anomaly
 // campaigns) execute as independent simulation jobs on a worker pool of
@@ -29,62 +45,92 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"firm/internal/experiments"
+	"firm/internal/report"
 	"firm/internal/rollout"
 	"firm/internal/runner"
 )
 
-type experiment func(sc experiments.Scale, seed int64) (fmt.Stringer, error)
+type experiment func(sc experiments.Scale, seed int64) (experiments.Reportable, error)
 
 func registry() map[string]experiment {
 	return map[string]experiment{
-		"fig1": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"fig1": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Fig1(sc, seed)
 		},
-		"table1": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"table1": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Table1(sc, seed)
 		},
-		"fig3": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"fig3": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Fig3(sc, seed)
 		},
-		"fig4": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"fig4": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Fig4(sc, seed)
 		},
-		"fig5": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"fig5": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Fig5(sc, seed)
 		},
-		"fig9a": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"fig9a": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Fig9a(sc, seed)
 		},
-		"fig9b": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"fig9b": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Fig9b(sc, seed)
 		},
-		"fig9c": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
-			return experiments.Fig9c(seed), nil
+		"fig9c": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
+			return experiments.Fig9c(sc, seed)
 		},
-		"fig10": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"fig10": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Fig10(sc, seed)
 		},
-		"fig11a": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"fig11a": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Fig11a(sc, seed)
 		},
-		"fig11b": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"fig11b": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Fig11b(sc, seed)
 		},
-		"table6": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"table6": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Table6(sc, seed)
 		},
-		"headline": func(sc experiments.Scale, seed int64) (fmt.Stringer, error) {
+		"headline": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
 			return experiments.Headline(sc, seed)
 		},
 	}
 }
 
+// tolMetricFlag collects repeated -tol-metric name=x overrides.
+type tolMetricFlag map[string]float64
+
+func (t tolMetricFlag) String() string {
+	parts := make([]string, 0, len(t))
+	for k, v := range t {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (t tolMetricFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("invalid tolerance in %q: %w", s, err)
+	}
+	t[name] = v
+	return nil
+}
+
 func main() {
+	tolMetric := tolMetricFlag{}
 	var (
 		run      = flag.String("run", "", "experiment id to run, or 'all'")
 		scale    = flag.String("scale", "quick", "tiny|quick|full")
@@ -93,8 +139,16 @@ func main() {
 		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		rollWk   = flag.Int("rollout", 0, "RL episode-rollout workers per training campaign (0 = share -parallel budget)")
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+		jsonOut  = flag.String("json", "", "write campaign results as canonical JSON to this path ('-' = stdout, text reports to stderr)")
+		diffMode = flag.Bool("diff", false, "compare two campaign JSON files: firmbench -diff [-tol x] a.json b.json")
+		tol      = flag.Float64("tol", 0, "default relative tolerance for -diff (0 = exact)")
 	)
+	flag.Var(tolMetric, "tol-metric", "per-metric tolerance override for -diff, name=x (repeatable; matches row metric names and full series names)")
 	flag.Parse()
+
+	if *diffMode {
+		os.Exit(diffCampaigns(flag.Args(), report.Tolerances{Default: *tol, Metric: tolMetric}))
+	}
 
 	runner.SetWorkers(*parallel)
 	rollout.SetWorkers(*rollWk)
@@ -152,18 +206,87 @@ func main() {
 		selected = []string{*run}
 	}
 
+	// With -json to stdout the text reports move to stderr so the JSON
+	// document stays parseable.
+	textOut := io.Writer(os.Stdout)
+	if *jsonOut == "-" {
+		textOut = os.Stderr
+	}
+
+	campaign := &report.Campaign{Tool: "firmbench", Scale: sc.Name, Seed: *seed}
 	for _, id := range selected {
-		fmt.Printf("=== %s (scale=%s seed=%d) ===\n", id, sc.Name, *seed)
+		fmt.Fprintf(textOut, "=== %s (scale=%s seed=%d) ===\n", id, sc.Name, *seed)
 		start := time.Now()
 		res, err := reg[id](sc, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Print(res.String())
-		fmt.Println()
+		fmt.Fprint(textOut, res.String())
+		fmt.Fprintln(textOut)
+		if *jsonOut != "" {
+			rep := res.Report()
+			rep.Scale = sc.Name
+			rep.Seed = *seed
+			campaign.Reports = append(campaign.Reports, rep)
+		}
 		// Wall-clock goes to stderr with the progress feed: stdout carries
 		// only the experiment artifact, byte-identical at any -parallel.
 		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", id, time.Since(start).Seconds())
 	}
+
+	if *jsonOut != "" {
+		if err := writeCampaign(*jsonOut, campaign); err != nil {
+			fmt.Fprintf(os.Stderr, "write -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeCampaign(path string, c *report.Campaign) error {
+	if path == "-" {
+		return report.Encode(os.Stdout, c)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.Encode(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// diffCampaigns loads two campaign files, diffs them, prints the mismatch
+// report, and returns the process exit code.
+func diffCampaigns(paths []string, tol report.Tolerances) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: firmbench -diff [-tol x] [-tol-metric name=x] a.json b.json")
+		return 2
+	}
+	load := func(path string) (*report.Campaign, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return report.Decode(f)
+	}
+	a, err := load(paths[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	b, err := load(paths[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	d := report.Diff(a, b, tol)
+	fmt.Print(d.Format())
+	if len(d.Mismatches) > 0 {
+		return 1
+	}
+	return 0
 }

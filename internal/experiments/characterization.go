@@ -9,6 +9,7 @@ import (
 	"firm/internal/cpath"
 	"firm/internal/harness"
 	"firm/internal/injector"
+	"firm/internal/report"
 	"firm/internal/runner"
 	"firm/internal/sim"
 	"firm/internal/stats"
@@ -141,6 +142,23 @@ func (r *Fig1Result) String() string {
 	return s
 }
 
+// Report converts the Fig. 1 result into its typed record.
+func (r *Fig1Result) Report() *report.Report {
+	rep := report.New("fig1")
+	rep.Row("anomaly").
+		Val("start", "s", r.AnomalyStart).
+		Val("end", "s", r.AnomalyEnd)
+	rep.Row("peak-p99").
+		Val("no-firm", "ms", r.PeakNoFIRM).
+		Val("firm", "ms", r.PeakFIRM).
+		Val("improvement", "x", ratio(r.PeakNoFIRM, r.PeakFIRM))
+	rep.AddSeries("p99-no-firm", "ms", r.TimesSec, r.P99NoFIRM)
+	rep.AddSeries("p99-firm", "ms", r.TimesSec, r.P99FIRM)
+	rep.AddSeries("cpu-util", "%", r.TimesSec, r.CPUUtilPct)
+	rep.AddSeries("per-core-dram", "", r.TimesSec, r.PerCoreDRAM)
+	return rep
+}
+
 // Table1Result reproduces Table 1: individual and end-to-end latencies for
 // the compose-post request as the CP shifts under injections at V, U, T.
 type Table1Result struct {
@@ -264,6 +282,19 @@ func (r *Table1Result) String() string {
 		s += fmt.Sprintf("  CP under %s injection: %s\n", victim, r.CPSignatures[victim])
 	}
 	return s
+}
+
+// Report converts the Table 1 result into its typed record.
+func (r *Table1Result) Report() *report.Report {
+	rep := report.New("table1")
+	for _, victim := range table1Victims {
+		row := rep.Row(victim).Dim("critical-path", r.CPSignatures[victim])
+		for _, col := range r.Services {
+			row.Val(col, "ms", r.Rows[victim][col])
+		}
+		row.Val("total", "ms", r.Totals[victim])
+	}
+	return rep
 }
 
 // endpointDriver issues a single endpoint type at a constant rate (some
@@ -394,6 +425,24 @@ func (r *Fig3Result) String() string {
 	return t.String()
 }
 
+// Report converts the Fig. 3 result into its typed record.
+func (r *Fig3Result) Report() *report.Report {
+	rep := report.New("fig3")
+	for _, row := range r.Rows {
+		rep.Row(row.Benchmark).
+			Dim("min-cp", row.MinCP).
+			Dim("max-cp", row.MaxCP).
+			Val("cp-groups", "count", float64(row.Groups)).
+			Val("min-cp-p50", "ms", row.MinMedian).
+			Val("max-cp-p50", "ms", row.MaxMedian).
+			Val("p50-ratio", "x", row.MedianRatio).
+			Val("min-cp-p99", "ms", row.MinP99).
+			Val("max-cp-p99", "ms", row.MaxP99).
+			Val("p99-ratio", "x", row.P99Ratio)
+	}
+	return rep
+}
+
 // Fig4Result reproduces Insight 2: scaling the highest-variance service on
 // the CP (text) beats scaling the highest-median one (composePost).
 type Fig4Result struct {
@@ -496,6 +545,23 @@ func (r *Fig4Result) String() string {
 	s += fmt.Sprintf("  gain from text (variance) %.1f%%, from compose (median) %.1f%%\n",
 		100*(1-r.ScaleTextP99/r.BeforeP99), 100*(1-r.ScaleComposeP99/r.BeforeP99))
 	return s
+}
+
+// Report converts the Fig. 4 result into its typed record.
+func (r *Fig4Result) Report() *report.Report {
+	rep := report.New("fig4")
+	rep.Row("span-stats").
+		Val("text-p50", "ms", r.TextMedian).
+		Val("text-sd", "ms", r.TextStd).
+		Val("compose-p50", "ms", r.ComposeMedian).
+		Val("compose-sd", "ms", r.ComposeStd)
+	rep.Row("e2e-p99").
+		Val("before", "ms", r.BeforeP99).
+		Val("scale-text", "ms", r.ScaleTextP99).
+		Val("scale-compose", "ms", r.ScaleComposeP99).
+		Val("gain-scale-text", "frac", 1-r.ScaleTextP99/r.BeforeP99).
+		Val("gain-scale-compose", "frac", 1-r.ScaleComposeP99/r.BeforeP99)
+	return rep
 }
 
 // Fig5Result reproduces the scale-up vs scale-out trade-off across load for
@@ -680,4 +746,22 @@ func (r *Fig5Result) String() string {
 			row.Winner)
 	}
 	return t.String()
+}
+
+// Report converts the Fig. 5 result into its typed record. Row labels
+// carry the sweep coordinates (they must be unique within the report).
+func (r *Fig5Result) Report() *report.Report {
+	rep := report.New("fig5")
+	for _, row := range r.Rows {
+		rep.Row(fmt.Sprintf("%s/%s/%.0frps", row.Benchmark, row.Resource, row.LoadRPS)).
+			Dim("winner", row.Winner).
+			Val("load", "rps", row.LoadRPS).
+			Val("scale-up-p50", "ms", row.UpMedian).
+			Val("scale-up-ci-lo", "ms", row.UpLo).
+			Val("scale-up-ci-hi", "ms", row.UpHi).
+			Val("scale-out-p50", "ms", row.OutMedian).
+			Val("scale-out-ci-lo", "ms", row.OutLo).
+			Val("scale-out-ci-hi", "ms", row.OutHi)
+	}
+	return rep
 }

@@ -2,8 +2,9 @@
 // paper's characterization (§2) and evaluation (§4) sections. Each runner
 // builds a testbed via internal/harness, drives it with the paper's
 // workloads and anomaly-injection campaigns, and emits the same rows/series
-// the paper reports. DESIGN.md's per-experiment index maps ids to runners;
-// EXPERIMENTS.md records paper-vs-measured values.
+// the paper reports. README's layout table maps packages to paper sections
+// and `firmbench -list` enumerates the experiment ids; ROADMAP.md tracks
+// which artifacts are still being grown.
 package experiments
 
 import (
@@ -15,12 +16,22 @@ import (
 	"firm/internal/core"
 	"firm/internal/harness"
 	"firm/internal/injector"
+	"firm/internal/report"
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/topology"
 	"firm/internal/tracedb"
 	"firm/internal/workload"
 )
+
+// Reportable is implemented by every experiment result: String renders the
+// human-readable stdout artifact (pinned by the golden files) and Report
+// converts the result into internal/report's typed record for `-json`
+// output, machine diffing, and cross-machine campaign merges.
+type Reportable interface {
+	fmt.Stringer
+	Report() *report.Report
+}
 
 // Scale controls experiment cost. Quick keeps unit-test/benchmark runtime
 // small while preserving each experiment's shape; Full approaches the
@@ -259,60 +270,9 @@ func runOnBench(b *harness.Bench, opts RunOpts) (RunStats, error) {
 	return st, nil
 }
 
-// Table is a simple ASCII table builder used by all experiment reports.
-type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-}
-
-// Add appends a row of cells.
-func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
-
-// String renders the table.
-func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	var sb strings.Builder
-	if t.Title != "" {
-		sb.WriteString(t.Title + "\n")
-	}
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				sb.WriteString("  ")
-			}
-			sb.WriteString(pad(c, widths[i]))
-		}
-		sb.WriteString("\n")
-	}
-	line(t.Header)
-	total := 0
-	for _, w := range widths {
-		total += w + 2
-	}
-	sb.WriteString(strings.Repeat("-", total) + "\n")
-	for _, r := range t.Rows {
-		line(r)
-	}
-	return sb.String()
-}
-
-func pad(s string, w int) string {
-	for len(s) < w {
-		s += " "
-	}
-	return s
-}
+// Table renders the experiments' stdout tables; it lives in
+// internal/report so the text and JSON renderers share one package.
+type Table = report.Table
 
 func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
 func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }

@@ -81,7 +81,14 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig9cDeterministic(t *testing.T) {
-	a, b := Fig9c(5), Fig9c(5)
+	a, err := Fig9c(TinyScale(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig9c(TinyScale(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, k := range a.Kinds {
 		for i := range a.Intensity[k] {
 			if a.Intensity[k][i] != b.Intensity[k][i] {

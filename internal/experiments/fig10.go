@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"firm/internal/core"
+	"firm/internal/report"
 	"firm/internal/rl"
 	"firm/internal/runner"
 	"firm/internal/sim"
@@ -163,4 +164,32 @@ func (r *Fig10Result) String() string {
 	s += fmt.Sprintf("FIRM vs AIMD: tail %.1fx, violations %.1fx\n",
 		r.TailLatencyVsAIMD, r.ViolationsVsAIMD)
 	return s
+}
+
+// Report converts the Fig. 10 result into its typed record: one row per
+// policy with the table's metrics plus the CDF quantiles, and rows for the
+// headline ratios.
+func (r *Fig10Result) Report() *report.Report {
+	rep := report.New("fig10")
+	rep.Row("slo").Dim("benchmark", r.Benchmark).Val("slo", "ms", r.SLOms)
+	for _, name := range sortedKeys(r.Stats) {
+		s := r.Stats[name]
+		row := rep.Row(name).
+			Val("violation-rate", "frac", s.ViolationRate()).
+			Val("completed", "count", float64(s.Completed)).
+			Val("drops", "count", float64(s.Dropped)).
+			Val("mean-cpu-limit", "%", stats.Mean(s.CPULimitSamples))
+		for _, q := range []float64{10, 25, 50, 75, 90, 99} {
+			row.Val(fmt.Sprintf("p%.0f", q), "ms", stats.Percentile(s.Latencies, q))
+		}
+	}
+	rep.Row("firm-vs-k8s").
+		Val("tail-latency", "x", r.TailLatencyVsHPA).
+		Val("violations", "x", r.ViolationsVsHPA).
+		Val("cpu-reduction", "frac", r.CPUReductionVsHPA).
+		Val("drops", "x", r.DropsVsHPA)
+	rep.Row("firm-vs-aimd").
+		Val("tail-latency", "x", r.TailLatencyVsAIMD).
+		Val("violations", "x", r.ViolationsVsAIMD)
+	return rep
 }

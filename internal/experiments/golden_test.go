@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"firm/internal/report"
 	"firm/internal/rollout"
 	"firm/internal/runner"
 )
@@ -16,50 +17,80 @@ import (
 //	go test ./internal/experiments -run Golden -update
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
-// renderAtRolloutWorkers renders an experiment artifact with the rollout
-// worker count pinned. The runner pool is pinned too (to a small fixed
-// value) so the check isolates the rollout axis; runner-pool independence
-// has its own tests in parallel_test.go.
-func renderAtRolloutWorkers(t *testing.T, workers int, fn func() (interface{ String() string }, error)) string {
+// goldenConfigs is the worker matrix every golden experiment renders
+// under: rollout workers {1, 2, 8} with the runner pool pinned small, plus
+// -parallel {1, 4} on a middle rollout count. Both artifacts (stdout text
+// and canonical JSON) must be byte-identical across all of them — the
+// determinism contract of internal/runner and internal/rollout, pinned to
+// disk so a regression cannot slip in as "both runs changed the same way".
+var goldenConfigs = []struct{ roll, par int }{
+	{1, 2}, {2, 2}, {8, 2}, {2, 1}, {2, 4},
+}
+
+// renderAtWorkers renders an experiment artifact — the stdout text and the
+// canonical campaign JSON — with the rollout and runner worker counts
+// pinned.
+func renderAtWorkers(t *testing.T, rollWorkers, runWorkers int, fn func() (Reportable, error)) (text string, jsonOut []byte) {
 	t.Helper()
 	origRoll := rollout.Workers()
-	rollout.SetWorkers(workers)
+	rollout.SetWorkers(rollWorkers)
 	defer rollout.SetWorkers(origRoll)
 	origRun := runner.Workers()
-	runner.SetWorkers(2)
+	runner.SetWorkers(runWorkers)
 	defer runner.SetWorkers(origRun)
 	r, err := fn()
 	if err != nil {
 		t.Fatal(err)
 	}
-	return r.String()
+	rep := r.Report()
+	rep.Scale = "tiny"
+	rep.Seed = 42
+	out, err := report.Marshal(&report.Campaign{
+		Tool: "firmbench", Scale: "tiny", Seed: 42,
+		Reports: []*report.Report{rep},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.String(), out
 }
 
-// goldenCheck asserts the artifact is byte-identical to the committed
-// golden file at rollout worker counts 1, 2, and 8 — the determinism
-// contract of internal/rollout's actor-learner engine, pinned to disk so a
-// regression cannot slip in as "both runs changed the same way".
-func goldenCheck(t *testing.T, name string, fn func() (interface{ String() string }, error)) {
+// goldenCheck asserts both artifacts are byte-identical to the committed
+// golden files (<name>.golden for stdout, <name>.json for the campaign
+// record) at every goldenConfigs worker combination.
+func goldenCheck(t *testing.T, name string, fn func() (Reportable, error)) {
 	t.Helper()
-	path := filepath.Join("testdata", name+".golden")
+	textPath := filepath.Join("testdata", name+".golden")
+	jsonPath := filepath.Join("testdata", name+".json")
 	if *updateGolden {
-		out := renderAtRolloutWorkers(t, 1, fn)
+		text, jsonOut := renderAtWorkers(t, goldenConfigs[0].roll, goldenConfigs[0].par, fn)
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		if err := os.WriteFile(textPath, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, jsonOut, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	want, err := os.ReadFile(path)
+	wantText, err := os.ReadFile(textPath)
 	if err != nil {
 		t.Fatalf("missing golden file (regenerate with -update): %v", err)
 	}
-	for _, w := range []int{1, 2, 8} {
-		got := renderAtRolloutWorkers(t, w, fn)
-		if got != string(want) {
-			t.Errorf("%s at %d rollout workers differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
-				name, w, got, want)
+	wantJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("missing golden JSON file (regenerate with -update): %v", err)
+	}
+	for _, cfg := range goldenConfigs {
+		text, jsonOut := renderAtWorkers(t, cfg.roll, cfg.par, fn)
+		if text != string(wantText) {
+			t.Errorf("%s at rollout=%d parallel=%d differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+				name, cfg.roll, cfg.par, text, wantText)
+		}
+		if string(jsonOut) != string(wantJSON) {
+			t.Errorf("%s JSON at rollout=%d parallel=%d differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+				name, cfg.roll, cfg.par, jsonOut, wantJSON)
 		}
 	}
 }
@@ -68,7 +99,7 @@ func TestFig11bGoldenAcrossRolloutWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains RL agents; run without -short")
 	}
-	goldenCheck(t, "fig11b_tiny", func() (interface{ String() string }, error) {
+	goldenCheck(t, "fig11b_tiny", func() (Reportable, error) {
 		return Fig11b(TinyScale(), 42)
 	})
 }
@@ -77,7 +108,7 @@ func TestFig11aGoldenAcrossRolloutWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains RL agents; run without -short")
 	}
-	goldenCheck(t, "fig11a_tiny", func() (interface{ String() string }, error) {
+	goldenCheck(t, "fig11a_tiny", func() (Reportable, error) {
 		return Fig11a(TinyScale(), 42)
 	})
 }
@@ -86,9 +117,44 @@ func TestFig10GoldenAcrossRolloutWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains RL agents; run without -short")
 	}
-	goldenCheck(t, "fig10_tiny", func() (interface{ String() string }, error) {
+	goldenCheck(t, "fig10_tiny", func() (Reportable, error) {
 		return Fig10(TinyScale(), 42)
 	})
+}
+
+// TestGoldenJSONRoundTrips pins the canonicalization contract on real
+// campaign files: decoding a committed golden JSON and re-encoding it must
+// reproduce the bytes exactly.
+func TestGoldenJSONRoundTrips(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no golden JSON files yet (regenerate with -update)")
+	}
+	for _, path := range paths {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := report.Decode(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		got, err := report.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: decode → re-encode not byte-stable", path)
+		}
+	}
 }
 
 // TestTrainRewardsIndependentOfWorkers pins the engine's contract at the

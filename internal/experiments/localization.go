@@ -7,6 +7,7 @@ import (
 	"firm/internal/detect"
 	"firm/internal/harness"
 	"firm/internal/injector"
+	"firm/internal/report"
 	"firm/internal/runner"
 	"firm/internal/sim"
 	"firm/internal/stats"
@@ -259,6 +260,26 @@ func (r *Fig9aResult) String() string {
 	return t.String() + fmt.Sprintf("average AUC = %.3f (paper: 0.978)\n", r.AvgAUC)
 }
 
+// Report converts the Fig. 9(a) result into its typed record: one row and
+// one ROC curve (x = FPR, y = TPR) per anomaly type.
+func (r *Fig9aResult) Report() *report.Report {
+	rep := report.New("fig9a")
+	rep.Row("average").Val("auc", "", r.AvgAUC)
+	for _, name := range sortedKeys(r.AUC) {
+		rep.Row(name).
+			Val("auc", "", r.AUC[name]).
+			Val("tpr-at-fpr15", "frac", r.TPRAtFPR15[name])
+		curve := r.Curves[name]
+		fpr := make([]float64, len(curve))
+		tpr := make([]float64, len(curve))
+		for i, pt := range curve {
+			fpr[i], tpr[i] = pt[0], pt[1]
+		}
+		rep.AddSeries("roc/"+name, "", fpr, tpr)
+	}
+	return rep
+}
+
 // Fig9bResult is the multi-anomaly localization accuracy across the four
 // benchmarks and two processor ISAs (paper: 92.8-94.6%, overall 93.8%).
 type Fig9bResult struct {
@@ -431,6 +452,18 @@ func (r *Fig9bResult) String() string {
 	return t.String() + fmt.Sprintf("overall accuracy = %.1f%% (paper: 93.8%%)\n", 100*r.Overall)
 }
 
+// Report converts the Fig. 9(b) result into its typed record.
+func (r *Fig9bResult) Report() *report.Report {
+	rep := report.New("fig9b")
+	rep.Row("overall").Val("accuracy", "frac", r.Overall)
+	for _, name := range sortedKeys(r.Accuracy["x86"]) {
+		rep.Row(name).
+			Val("x86", "frac", r.Accuracy["x86"][name]).
+			Val("ppc64", "frac", r.Accuracy["ppc64"][name])
+	}
+	return rep
+}
+
 // Fig9cResult is the anomaly-injection schedule itself (the experiment
 // input visualized in the paper's Fig. 9(c)).
 type Fig9cResult struct {
@@ -440,8 +473,12 @@ type Fig9cResult struct {
 }
 
 // Fig9c materializes the schedule used by Fig9b (first benchmark's pair
-// seed) for inspection.
-func Fig9c(seed int64) *Fig9cResult {
+// seed) for inspection. It takes the common (Scale, seed) experiment
+// signature so it participates in Reportable, `-run all`, and the golden
+// tests like every other experiment; the schedule itself is
+// scale-independent (it mirrors fig9bRun's drawing protocol over a fixed
+// 12-window horizon, Fig. 9(c)'s x-axis).
+func Fig9c(_ Scale, seed int64) (*Fig9cResult, error) {
 	spec := topology.All()[0]
 	targets := fig9bTargetCount(spec)
 	r := sim.Stream(fig9bPairSeed(seed, spec.Name), "fig9b")
@@ -466,7 +503,7 @@ func Fig9c(seed int64) *Fig9cResult {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // String renders the Fig. 9(c) schedule.
@@ -483,6 +520,20 @@ func (r *Fig9cResult) String() string {
 		t.Add(row...)
 	}
 	return t.String()
+}
+
+// Report converts the Fig. 9(c) schedule into its typed record: one
+// intensity series per anomaly kind over the window index.
+func (r *Fig9cResult) Report() *report.Report {
+	rep := report.New("fig9c")
+	x := make([]float64, len(r.Windows))
+	for i, w := range r.Windows {
+		x[i] = float64(w)
+	}
+	for _, k := range r.Kinds {
+		rep.AddSeries(k, "intensity", x, r.Intensity[k])
+	}
+	return rep
 }
 
 func intStrings(xs []int) []string {

@@ -95,7 +95,10 @@ func TestFig9cReplaysFig9bSchedule(t *testing.T) {
 	// the protocol (Fig9c's loop vs fig9bRun's runWindow) is caught.
 	seed := int64(9)
 	spec := topology.All()[0]
-	res := Fig9c(seed)
+	res, err := Fig9c(TinyScale(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Kinds) == 0 || len(res.Windows) == 0 {
 		t.Fatal("empty schedule")
 	}

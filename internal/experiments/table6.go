@@ -6,6 +6,7 @@ import (
 	"firm/internal/cluster"
 	"firm/internal/deploy"
 	"firm/internal/harness"
+	"firm/internal/report"
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/svm"
@@ -106,6 +107,16 @@ func (r *Table6Result) String() string {
 	return t.String()
 }
 
+// Report converts the Table 6 result into its typed record.
+func (r *Table6Result) Report() *report.Report {
+	rep := report.New("table6")
+	rep.Row("samples").Val("n", "count", float64(r.N))
+	for _, op := range sortedKeys(r.Mean) {
+		rep.Row(op).Val("mean", "ms", r.Mean[op]).Val("sd", "ms", r.SD[op])
+	}
+	return rep
+}
+
 // HeadlineResult aggregates the paper's §1 headline claims from the Fig. 10
 // and Fig. 11(b) runs.
 type HeadlineResult struct {
@@ -148,4 +159,20 @@ func (r *HeadlineResult) String() string {
 	t.Add("mitigation time vs K8S", fmt.Sprintf("%.1fx", r.MitigationVsHPA), "30.1x")
 	t.Add("mitigation time vs AIMD", fmt.Sprintf("%.1fx", r.MitigationVsAIMD), "9.6x")
 	return t.String()
+}
+
+// Report converts the headline comparison into its typed record. The
+// underlying Fig. 10 / Fig. 11(b) measurements get their own reports when
+// run as experiments; this record carries only the abstract's ratios.
+func (r *HeadlineResult) Report() *report.Report {
+	rep := report.New("headline")
+	rep.Row("slo-violations").
+		Val("vs-k8s", "x", r.Fig10.ViolationsVsHPA).
+		Val("vs-aimd", "x", r.Fig10.ViolationsVsAIMD)
+	rep.Row("tail-latency").Val("vs-k8s", "x", r.Fig10.TailLatencyVsHPA)
+	rep.Row("requested-cpu-reduction").Val("vs-k8s", "frac", r.Fig10.CPUReductionVsHPA)
+	rep.Row("mitigation-time").
+		Val("vs-k8s", "x", r.MitigationVsHPA).
+		Val("vs-aimd", "x", r.MitigationVsAIMD)
+	return rep
 }

@@ -9,6 +9,7 @@ import (
 	"firm/internal/detect"
 	"firm/internal/harness"
 	"firm/internal/injector"
+	"firm/internal/report"
 	"firm/internal/rl"
 	"firm/internal/rollout"
 	"firm/internal/runner"
@@ -98,7 +99,8 @@ func Train(opts TrainOpts) (*TrainResult, error) {
 	}
 	// Every fresh agent is behaviour-cloned from the guided mitigation rule
 	// before DDPG refinement: the paper's from-scratch exploration spans
-	// ~15000 episodes, which this reproduction compresses (see DESIGN.md).
+	// ~15000 episodes, which this reproduction compresses (see the
+	// "Scales and determinism" section of the README).
 	bc := func(ag *rl.Agent) { pretrainGuided(ag, opts.Seed) }
 	var prov core.ReplicableProvider
 	switch opts.Variant {
@@ -311,6 +313,23 @@ func (r *Fig11aResult) String() string {
 			fmt.Sprint(pts))
 	}
 	return t.String()
+}
+
+// Report converts the Fig. 11(a) result into its typed record: one row and
+// one smoothed-reward curve per training variant.
+func (r *Fig11aResult) Report() *report.Report {
+	rep := report.New("fig11a")
+	eps := make([]float64, len(r.Episodes))
+	for i, ep := range r.Episodes {
+		eps[i] = float64(ep)
+	}
+	for _, name := range sortedKeys(r.Series) {
+		rep.Row(name).
+			Val("final-reward", "", r.FinalReward[name]).
+			Val("converged-episode", "episode", float64(r.ConvergedEpisode[name]))
+		rep.AddSeries("reward/"+name, "", eps, r.Series[name])
+	}
+	return rep
 }
 
 // Fig11bResult reproduces mitigation time vs training progress, with the
@@ -557,4 +576,22 @@ func (r *Fig11bResult) String() string {
 	s := t.String()
 	s += fmt.Sprintf("baselines: K8S autoscaling=%.2fs AIMD=%.2fs\n", r.HPABaseline, r.AIMDBaseline)
 	return s
+}
+
+// Report converts the Fig. 11(b) result into its typed record: mitigation
+// time per checkpoint episode for the RL arms, plus the rule-based
+// baselines.
+func (r *Fig11bResult) Report() *report.Report {
+	rep := report.New("fig11b")
+	eps := make([]float64, len(r.Episodes))
+	for i, ep := range r.Episodes {
+		eps[i] = float64(ep)
+	}
+	rep.AddSeries("single-rl", "s", eps, r.SingleRL)
+	rep.AddSeries("multi-rl-final", "s", eps, r.MultiRL)
+	rep.Row("baselines").
+		Val("k8s-autoscaling", "s", r.HPABaseline).
+		Val("aimd", "s", r.AIMDBaseline)
+	rep.Row("final").Val("single-rl", "s", r.FinalSingleRL)
+	return rep
 }

@@ -1,0 +1,64 @@
+package report
+
+import "strings"
+
+// Table is the ASCII table renderer behind every experiment's stdout
+// report. It lives here so text rendering and the JSON records share one
+// package; the format is pinned by the stdout golden files, so changes to
+// String are behavior changes.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(widths) {
+				break // cells beyond the header are dropped, not rendered
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
