@@ -9,6 +9,8 @@
 //	firmbench -run fig11b -scale tiny -rollout 4
 //	firmbench -run all -scale tiny -json results.json
 //	firmbench -diff [-tol 0.05] [-tol-metric p99=0.1] a.json b.json
+//	firmbench -serve :8701
+//	firmbench -dist host1:8701,host2:8701 -run all -scale full
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact; the README's layout table maps packages to paper sections.
@@ -40,6 +42,14 @@
 // (0) lets rollouts borrow whatever the -parallel job pool leaves spare, so
 // inner and outer parallelism share one budget. Rollout worker count never
 // changes stdout either — only wall-clock.
+//
+// -serve and -dist split one campaign across machines (internal/dist):
+// `firmbench -serve :port` runs a worker, `firmbench -dist host1,host2 -run
+// ...` runs the coordinator. Job seeds derive from the campaign seed and
+// stable job keys on whichever machine executes them, so stdout stays
+// byte-identical to a local run and the -json file diffs clean at tolerance
+// 0 (per-report worker provenance is recorded, which -diff reports as a
+// note). See the README's "Distributed campaigns" section.
 package main
 
 import (
@@ -57,52 +67,6 @@ import (
 	"firm/internal/rollout"
 	"firm/internal/runner"
 )
-
-type experiment func(sc experiments.Scale, seed int64) (experiments.Reportable, error)
-
-func registry() map[string]experiment {
-	return map[string]experiment{
-		"fig1": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig1(sc, seed)
-		},
-		"table1": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Table1(sc, seed)
-		},
-		"fig3": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig3(sc, seed)
-		},
-		"fig4": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig4(sc, seed)
-		},
-		"fig5": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig5(sc, seed)
-		},
-		"fig9a": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig9a(sc, seed)
-		},
-		"fig9b": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig9b(sc, seed)
-		},
-		"fig9c": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig9c(sc, seed)
-		},
-		"fig10": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig10(sc, seed)
-		},
-		"fig11a": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig11a(sc, seed)
-		},
-		"fig11b": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Fig11b(sc, seed)
-		},
-		"table6": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Table6(sc, seed)
-		},
-		"headline": func(sc experiments.Scale, seed int64) (experiments.Reportable, error) {
-			return experiments.Headline(sc, seed)
-		},
-	}
-}
 
 // tolMetricFlag collects repeated -tol-metric name=x overrides.
 type tolMetricFlag map[string]float64
@@ -125,8 +89,78 @@ func (t tolMetricFlag) Set(s string) error {
 	if err != nil {
 		return fmt.Errorf("invalid tolerance in %q: %w", s, err)
 	}
+	if v < 0 || v != v { // v != v: NaN
+		return fmt.Errorf("tolerance must be >= 0, got %q", s)
+	}
 	t[name] = v
 	return nil
+}
+
+// invocation is the parsed command line, validated as a whole before any
+// mode runs: contradictory or malformed invocations exit 2 with a usage
+// message instead of silently misbehaving (e.g. -diff ignoring -run, or a
+// negative -tol making every comparison fail).
+type invocation struct {
+	run, jsonOut, serve, dist string
+	list, diff                bool
+	tol                       float64
+	tolMetric                 tolMetricFlag
+	distTimeout               time.Duration
+	args                      []string
+}
+
+func (inv invocation) validate() error {
+	if inv.tol < 0 || inv.tol != inv.tol {
+		return fmt.Errorf("-tol must be >= 0, got %g", inv.tol)
+	}
+	if inv.diff {
+		if inv.run != "" || inv.jsonOut != "" || inv.list || inv.serve != "" || inv.dist != "" {
+			return fmt.Errorf("-diff compares two result files and cannot be combined with -run, -json, -list, -serve, or -dist")
+		}
+		if len(inv.args) != 2 {
+			return fmt.Errorf("-diff takes exactly two file arguments, got %d", len(inv.args))
+		}
+		return nil
+	}
+	if inv.tol != 0 || len(inv.tolMetric) > 0 {
+		return fmt.Errorf("-tol and -tol-metric are only meaningful with -diff")
+	}
+	if len(inv.args) > 0 {
+		return fmt.Errorf("unexpected arguments %q (file arguments are only valid with -diff)", inv.args)
+	}
+	if inv.serve != "" {
+		if inv.run != "" || inv.jsonOut != "" || inv.list || inv.dist != "" {
+			return fmt.Errorf("-serve runs a worker and cannot be combined with -run, -json, -list, or -dist")
+		}
+		return nil
+	}
+	if inv.distTimeout < 0 {
+		return fmt.Errorf("-dist-timeout must be >= 0, got %v (0 = no timeout)", inv.distTimeout)
+	}
+	if inv.distTimeout != 0 && inv.dist == "" {
+		return fmt.Errorf("-dist-timeout is only meaningful with -dist")
+	}
+	if inv.dist != "" {
+		if inv.run == "" || inv.list {
+			return fmt.Errorf("-dist needs a campaign: add -run <id|all> (and drop -list)")
+		}
+		for _, h := range splitHosts(inv.dist) {
+			if h == "" {
+				return fmt.Errorf("-dist has an empty host in %q", inv.dist)
+			}
+		}
+	}
+	return nil
+}
+
+// splitHosts splits the -dist host list, trimming whitespace but keeping
+// empty entries so validate can reject them.
+func splitHosts(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func main() {
@@ -142,9 +176,26 @@ func main() {
 		jsonOut  = flag.String("json", "", "write campaign results as canonical JSON to this path ('-' = stdout, text reports to stderr)")
 		diffMode = flag.Bool("diff", false, "compare two campaign JSON files: firmbench -diff [-tol x] a.json b.json")
 		tol      = flag.Float64("tol", 0, "default relative tolerance for -diff (0 = exact)")
+		serve    = flag.String("serve", "", "run a distributed-campaign worker on this address (host:port)")
+		distTo   = flag.String("dist", "", "comma-separated worker addresses; run the campaign as their coordinator")
+		distWait = flag.Duration("dist-timeout", 0, "per-job timeout for -dist before a worker counts as failed (0 = none)")
 	)
 	flag.Var(tolMetric, "tol-metric", "per-metric tolerance override for -diff, name=x (repeatable; matches row metric names and full series names)")
 	flag.Parse()
+
+	inv := invocation{
+		run: *run, jsonOut: *jsonOut, serve: *serve, dist: *distTo,
+		list: *list, diff: *diffMode, tol: *tol, tolMetric: tolMetric,
+		distTimeout: *distWait,
+		args:        flag.Args(),
+	}
+	if err := inv.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "firmbench: %v\n", err)
+		fmt.Fprintln(os.Stderr, "usage: firmbench -run <id|all> [-scale tiny|quick|full] [-seed N] [-json path] |")
+		fmt.Fprintln(os.Stderr, "       firmbench -diff [-tol x] [-tol-metric name=x] a.json b.json |")
+		fmt.Fprintln(os.Stderr, "       firmbench -serve host:port | firmbench -dist host1,host2 -run <id|all>")
+		os.Exit(2)
+	}
 
 	if *diffMode {
 		os.Exit(diffCampaigns(flag.Args(), report.Tolerances{Default: *tol, Metric: tolMetric}))
@@ -164,13 +215,11 @@ func main() {
 		})
 	}
 
-	reg := registry()
-	ids := make([]string, 0, len(reg))
-	for id := range reg {
-		ids = append(ids, id)
+	if *serve != "" {
+		os.Exit(runWorker(*serve))
 	}
-	sort.Strings(ids)
 
+	ids := experiments.IDs()
 	if *list || *run == "" {
 		fmt.Println("experiments:")
 		for _, id := range ids {
@@ -182,15 +231,8 @@ func main() {
 		return
 	}
 
-	var sc experiments.Scale
-	switch *scale {
-	case "tiny":
-		sc = experiments.TinyScale()
-	case "quick":
-		sc = experiments.QuickScale()
-	case "full":
-		sc = experiments.FullScale()
-	default:
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
@@ -199,11 +241,15 @@ func main() {
 	if *run == "all" {
 		selected = ids
 	} else {
-		if _, ok := reg[*run]; !ok {
+		if _, ok := experiments.Get(*run); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
 			os.Exit(2)
 		}
 		selected = []string{*run}
+	}
+
+	if *distTo != "" {
+		os.Exit(runDistributed(splitHosts(*distTo), selected, sc, *seed, *jsonOut, *distWait, *quiet))
 	}
 
 	// With -json to stdout the text reports move to stderr so the JSON
@@ -215,21 +261,18 @@ func main() {
 
 	campaign := &report.Campaign{Tool: "firmbench", Scale: sc.Name, Seed: *seed}
 	for _, id := range selected {
-		fmt.Fprintf(textOut, "=== %s (scale=%s seed=%d) ===\n", id, sc.Name, *seed)
 		start := time.Now()
-		res, err := reg[id](sc, *seed)
+		fn, _ := experiments.Get(id)
+		res, err := fn(sc, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Fprint(textOut, res.String())
-		fmt.Fprintln(textOut)
+		var rep *report.Report
 		if *jsonOut != "" {
-			rep := res.Report()
-			rep.Scale = sc.Name
-			rep.Seed = *seed
-			campaign.Reports = append(campaign.Reports, rep)
+			rep = res.Report()
 		}
+		emitReport(textOut, campaign, id, sc.Name, *seed, res.String(), rep, 0)
 		// Wall-clock goes to stderr with the progress feed: stdout carries
 		// only the experiment artifact, byte-identical at any -parallel.
 		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", id, time.Since(start).Seconds())
@@ -240,6 +283,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "write -json: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// emitReport renders one experiment artifact and, when rep is non-nil,
+// stamps and merges its record into the campaign. Every campaign path —
+// the local loop, the coarse distributed merge, and the fine-grained
+// single-experiment mode — goes through this one function: the "-dist
+// stdout is byte-identical to a local run" invariant is precisely the
+// claim that no path renders differently, so keep this the only renderer.
+func emitReport(w io.Writer, campaign *report.Campaign, id, scale string, seed int64, text string, rep *report.Report, worker int) {
+	fmt.Fprintf(w, "=== %s (scale=%s seed=%d) ===\n", id, scale, seed)
+	fmt.Fprint(w, text)
+	fmt.Fprintln(w)
+	if rep != nil {
+		rep.Scale = scale
+		rep.Seed = seed
+		campaign.Merge(rep, worker)
 	}
 }
 

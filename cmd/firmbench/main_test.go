@@ -1,0 +1,79 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValidateRejectsContradictoryInvocations(t *testing.T) {
+	bad := []struct {
+		name string
+		inv  invocation
+	}{
+		{"diff-one-arg", invocation{diff: true, args: []string{"a.json"}}},
+		{"diff-three-args", invocation{diff: true, args: []string{"a", "b", "c"}}},
+		{"diff-with-run", invocation{diff: true, run: "fig3", args: []string{"a", "b"}}},
+		{"diff-with-json", invocation{diff: true, jsonOut: "out.json", args: []string{"a", "b"}}},
+		{"diff-with-serve", invocation{diff: true, serve: ":8701", args: []string{"a", "b"}}},
+		{"diff-with-dist", invocation{diff: true, dist: "h:1", args: []string{"a", "b"}}},
+		{"negative-tol", invocation{diff: true, tol: -0.1, args: []string{"a", "b"}}},
+		{"nan-tol", invocation{diff: true, tol: math.NaN(), args: []string{"a", "b"}}},
+		{"tol-without-diff", invocation{run: "fig3", tol: 0.5}},
+		{"tol-metric-without-diff", invocation{run: "fig3", tolMetric: tolMetricFlag{"p99": 0.1}}},
+		{"stray-args", invocation{run: "fig3", args: []string{"a.json"}}},
+		{"serve-with-run", invocation{serve: ":8701", run: "fig3"}},
+		{"serve-with-json", invocation{serve: ":8701", jsonOut: "o.json"}},
+		{"serve-with-dist", invocation{serve: ":8701", dist: "h:1"}},
+		{"serve-with-list", invocation{serve: ":8701", list: true}},
+		{"dist-without-run", invocation{dist: "h1:1,h2:1"}},
+		{"dist-with-list", invocation{dist: "h1:1", run: "all", list: true}},
+		{"dist-empty-host", invocation{dist: "h1:1,,h2:1", run: "all"}},
+		{"negative-dist-timeout", invocation{dist: "h1:1", run: "all", distTimeout: -time.Second}},
+		{"dist-timeout-without-dist", invocation{run: "fig3", distTimeout: time.Minute}},
+	}
+	for _, tc := range bad {
+		if err := tc.inv.validate(); err == nil {
+			t.Errorf("%s: invocation accepted, want rejection", tc.name)
+		}
+	}
+	good := []struct {
+		name string
+		inv  invocation
+	}{
+		{"plain-run", invocation{run: "fig3"}},
+		{"list", invocation{list: true}},
+		{"diff", invocation{diff: true, tol: 0.05, tolMetric: tolMetricFlag{"p99": 0.1}, args: []string{"a", "b"}}},
+		{"serve", invocation{serve: ":8701"}},
+		{"dist", invocation{dist: "h1:1, h2:1", run: "all", jsonOut: "o.json", distTimeout: time.Minute}},
+	}
+	for _, tc := range good {
+		if err := tc.inv.validate(); err != nil {
+			t.Errorf("%s: valid invocation rejected: %v", tc.name, err)
+		}
+	}
+}
+
+func TestTolMetricFlagSet(t *testing.T) {
+	tm := tolMetricFlag{}
+	for _, ok := range []string{"p99=0.1", "reward/One-for-All=0", "x=1e-3"} {
+		if err := tm.Set(ok); err != nil {
+			t.Errorf("Set(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"p99", "=0.1", "p99=", "p99=abc", "p99=-0.1", "p99=NaN"} {
+		if err := tm.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted, want error", bad)
+		}
+	}
+	if tm["p99"] != 0.1 || tm["x"] != 1e-3 {
+		t.Fatalf("parsed values wrong: %v", tm)
+	}
+}
+
+func TestSplitHostsTrims(t *testing.T) {
+	got := splitHosts(" h1:8701 , h2:8701,")
+	if len(got) != 3 || got[0] != "h1:8701" || got[1] != "h2:8701" || got[2] != "" {
+		t.Fatalf("splitHosts = %q", got)
+	}
+}

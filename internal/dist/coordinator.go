@@ -1,0 +1,329 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"firm/internal/runner"
+)
+
+// Result is one job's outcome with its provenance: Worker is the 1-based
+// position of the producing host in the pool's host list, or 0 when the
+// coordinator executed the job itself (the local-execution fallback).
+type Result struct {
+	Data   []byte
+	Worker int
+}
+
+// Pool is a campaign-scoped coordinator over a fixed set of worker hosts.
+// A host that fails a transport round-trip is dead for the rest of the
+// campaign (workers do not rejoin: campaigns are short-lived and a flapping
+// worker re-running jobs could not change results anyway, only waste them).
+// Pool is safe for concurrent Run calls — nested dispatch reuses one pool.
+type Pool struct {
+	// Hosts are worker addresses ("host:port", or full http:// URLs), in
+	// the order provenance reports them.
+	Hosts []string
+	// Timeout bounds one job's HTTP round-trip; 0 means no limit (training
+	// experiments legitimately run for a long time). A worker that exceeds
+	// it is treated as failed and its job is requeued.
+	Timeout time.Duration
+	// ReadyTimeout bounds the initial health-check wait per host (default
+	// 10s): workers started concurrently with the coordinator get a grace
+	// period to begin listening before they are declared dead.
+	ReadyTimeout time.Duration
+	// Progress, when non-nil, receives per-job completion lines (the
+	// distributed counterpart of runner's stderr progress feed).
+	Progress func(format string, args ...any)
+	// Local overrides the fallback executor (tests); nil uses the local
+	// job-set registry, i.e. exactly what a worker would have run.
+	Local func(set, scale string, seed int64, key string) ([]byte, error)
+
+	mu      sync.Mutex
+	dead    []bool
+	checked bool
+}
+
+// NewPool builds a pool over the given hosts.
+func NewPool(hosts []string) *Pool {
+	return &Pool{Hosts: hosts}
+}
+
+// Alive returns how many hosts are currently considered usable (all of
+// them before the first Run's health check).
+func (p *Pool) Alive() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead == nil {
+		return len(p.Hosts)
+	}
+	n := 0
+	for _, d := range p.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// hostURL normalizes a host entry to a base URL.
+func hostURL(h string) string {
+	if strings.HasPrefix(h, "http://") || strings.HasPrefix(h, "https://") {
+		return strings.TrimRight(h, "/")
+	}
+	return "http://" + h
+}
+
+// ready health-checks every host once per pool, in parallel, retrying each
+// until ReadyTimeout so workers booting alongside the coordinator are not
+// misclassified as dead.
+func (p *Pool) ready() {
+	p.mu.Lock()
+	if p.checked {
+		p.mu.Unlock()
+		return
+	}
+	p.checked = true
+	p.dead = make([]bool, len(p.Hosts))
+	p.mu.Unlock()
+
+	wait := p.ReadyTimeout
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	var wg sync.WaitGroup
+	for i, h := range p.Hosts {
+		i, h := i, h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(wait)
+			for {
+				resp, err := client.Get(hostURL(h) + "/healthz")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						return
+					}
+				}
+				if time.Now().After(deadline) {
+					p.markDead(i, fmt.Errorf("no /healthz response within %s", wait), "")
+					return
+				}
+				time.Sleep(500 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (p *Pool) markDead(i int, err error, key string) {
+	p.mu.Lock()
+	already := p.dead[i]
+	p.dead[i] = true
+	p.mu.Unlock()
+	if already {
+		return
+	}
+	if key != "" {
+		log.Printf("dist: worker %d (%s) failed on %q: %v — job requeued, worker dropped", i+1, p.Hosts[i], key, err)
+	} else {
+		log.Printf("dist: worker %d (%s) unreachable: %v — dropped", i+1, p.Hosts[i], err)
+	}
+}
+
+func (p *Pool) aliveHosts() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for i := range p.Hosts {
+		if !p.dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// call runs one job on one host. jobErr is an application failure reported
+// by the worker (aborts the campaign); transportErr is a worker failure
+// (requeue). Exactly one of data/jobErr/transportErr is meaningful.
+func (p *Pool) call(host int, req JobRequest) (data []byte, jobErr, transportErr error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err, nil // cannot happen for these types; treat as job error
+	}
+	client := &http.Client{Timeout: p.Timeout}
+	resp, err := client.Post(hostURL(p.Hosts[host])+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return nil, nil, fmt.Errorf("bad response body: %w", err)
+	}
+	if jr.Error != "" {
+		return nil, fmt.Errorf("%s", jr.Error), nil
+	}
+	if jr.Result == nil {
+		// A 200 with neither result nor error violates the protocol (an
+		// intermediary, or a worker speaking a different dialect): treat it
+		// as a worker failure so the job is retried elsewhere rather than
+		// recorded as an empty success.
+		return nil, nil, fmt.Errorf("protocol violation: 200 response with no result and no error")
+	}
+	return jr.Result, nil, nil
+}
+
+func (p *Pool) local(set, scale string, seed int64, key string) ([]byte, error) {
+	if p.Local != nil {
+		return p.Local(set, scale, seed, key)
+	}
+	s, ok := runner.LookupSet(set)
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown job set %q", set)
+	}
+	return s.Run(scale, seed, key)
+}
+
+func (p *Pool) progress(format string, args ...any) {
+	if p.Progress != nil {
+		p.Progress(format, args...)
+	}
+}
+
+// Run executes the named job set's listed keys across the pool and returns
+// one result per key, in key order. Scheduling is pull-shaped: one job is
+// outstanding per worker, so an idle worker takes the next job the moment
+// it finishes. A transport failure drops the worker and requeues its job;
+// when no workers remain, the coordinator runs what is left itself, in key
+// order. A job error (the job ran and failed) aborts the campaign like a
+// local failure would; the error reported is the first in key order among
+// the jobs that failed.
+func (p *Pool) Run(set, scale string, seed int64, keys []string) ([]Result, error) {
+	n := len(keys)
+	results := make([]Result, n)
+	if n == 0 {
+		return results, nil
+	}
+	p.ready()
+
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		queue   = make([]int, 0, n)
+		done    int
+		failIdx = -1
+		failErr error
+	)
+	for i := range keys {
+		queue = append(queue, i)
+	}
+	fail := func(idx int, err error) {
+		if failIdx < 0 || idx < failIdx {
+			failIdx, failErr = idx, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, hi := range p.aliveHosts() {
+		hi := hi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(queue) == 0 && done < n && failErr == nil {
+					cond.Wait()
+				}
+				if done == n || failErr != nil {
+					mu.Unlock()
+					return
+				}
+				idx := queue[0]
+				queue = queue[1:]
+				mu.Unlock()
+
+				data, jobErr, terr := p.call(hi, JobRequest{Set: set, Key: keys[idx], Scale: scale, Seed: seed})
+				mu.Lock()
+				switch {
+				case terr != nil:
+					queue = append(queue, idx)
+					cond.Broadcast()
+					mu.Unlock()
+					p.markDead(hi, terr, keys[idx])
+					return
+				case jobErr != nil:
+					fail(idx, jobErr)
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				default:
+					results[idx] = Result{Data: data, Worker: hi + 1}
+					done++
+					d := done
+					if done == n {
+						cond.Broadcast()
+					}
+					mu.Unlock()
+					p.progress("[%d/%d] %s/%s done on worker %d (%s)", d, n, set, keys[idx], hi+1, p.Hosts[hi])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every worker is gone or the pool was empty to begin with: finish the
+	// remaining jobs in-process, in key order, so the campaign completes
+	// with the same bytes regardless.
+	if failErr == nil && done < n {
+		rest := append([]int(nil), queue...)
+		sort.Ints(rest)
+		if len(rest) > 0 {
+			log.Printf("dist: no workers left, running %d remaining job(s) locally", len(rest))
+		}
+		for _, idx := range rest {
+			data, err := p.local(set, scale, seed, keys[idx])
+			if err != nil {
+				fail(idx, err)
+				break
+			}
+			results[idx] = Result{Data: data, Worker: 0}
+			done++
+			p.progress("[%d/%d] %s/%s done locally (fallback)", done, n, set, keys[idx])
+		}
+	}
+	if failErr != nil {
+		return results, fmt.Errorf("dist: job %s/%s: %w", set, keys[failIdx], failErr)
+	}
+	return results, nil
+}
+
+// RunJobs implements internal/experiments.Dispatcher: it is Run with the
+// provenance stripped, for fine-grained job sets whose merge happens inside
+// the experiment that declared them.
+func (p *Pool) RunJobs(set, scale string, seed int64, keys []string) ([][]byte, error) {
+	rs, err := p.Run(set, scale, seed, keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(rs))
+	for i, r := range rs {
+		out[i] = r.Data
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+// Package dist fans a firmbench campaign's job pool across machines.
+//
+// FIRM's evaluation is a pool of independent, bit-reproducible jobs —
+// internal/runner's named job sets, from whole experiments down to single
+// sweep cells — so distribution needs no result coordination at all: a job
+// is a (set, key) reference, any machine rebuilds the identical job from
+// the registered set and the campaign's (scale, seed), and the seed each
+// job runs under derives from the campaign seed and the job key, never
+// from placement. Where a job runs, how late it runs, and how many times
+// it was retried are therefore invisible in the results; only wall-clock
+// changes. The coordinator merges results in declaration order, so a
+// distributed campaign's stdout is byte-identical to a single-machine run.
+//
+// The protocol is deliberately small: HTTP+JSON, one POST per job.
+//
+//	POST /run   {"set":..,"key":..,"scale":..,"seed":..}
+//	  -> 200 {"key":..,"result":<JSON>}   job executed
+//	  -> 200 {"key":..,"error":"..."}     job executed and failed (aborts
+//	                                      the campaign, like a local failure)
+//	  transport error / non-200           worker failure (job is requeued)
+//	GET /healthz -> {"ok":true,"sets":[..]}
+//
+// Dispatch is pull-shaped in the spirit of distributed join-the-idle-queue:
+// the coordinator keeps one outstanding job per worker, so each worker
+// implicitly "pulls" its next job the moment it finishes the previous one,
+// and fast workers drain more of the pool than slow ones without any cost
+// model. A worker that fails a transport round-trip is dropped for the rest
+// of the campaign and its job is requeued; when no workers remain, the
+// coordinator executes the remaining jobs itself (the local-execution
+// fallback), so a campaign always completes with exactly the bytes a local
+// run would have produced.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"firm/internal/runner"
+)
+
+// JobRequest identifies one job of a campaign: a (set, key) reference into
+// internal/runner's job-set registry plus the campaign configuration the
+// executing machine rebuilds the job list from.
+type JobRequest struct {
+	Set   string `json:"set"`
+	Key   string `json:"key"`
+	Scale string `json:"scale"`
+	Seed  int64  `json:"seed"`
+}
+
+// JobResponse carries one executed job's outcome. Exactly one of Result and
+// Error is set: Error reports that the job itself failed (an application
+// error that aborts the campaign, exactly as it would locally) — worker
+// failures are transport-level and carry no JobResponse at all.
+type JobResponse struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// health is the /healthz body.
+type health struct {
+	OK   bool     `json:"ok"`
+	Sets []string `json:"sets"`
+}
+
+// Handler returns the worker's HTTP handler: POST /run executes registered
+// jobs, GET /healthz answers readiness probes. `firmbench -serve` mounts it
+// on a plain http.Server; tests mount it on httptest servers.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, health{OK: true, Sets: runner.SetNames()})
+	})
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, runJob(req))
+	})
+	return mux
+}
+
+// runJob executes one job against the local job-set registry. All failures
+// below the transport are job errors: an unknown set or key means the two
+// processes disagree about the campaign (mismatched binaries, say), which
+// retrying on another worker cannot fix.
+func runJob(req JobRequest) JobResponse {
+	set, ok := runner.LookupSet(req.Set)
+	if !ok {
+		return JobResponse{Key: req.Key, Error: fmt.Sprintf("dist: unknown job set %q (worker binary out of sync?)", req.Set)}
+	}
+	start := time.Now()
+	data, err := set.Run(req.Scale, req.Seed, req.Key)
+	if err != nil {
+		log.Printf("dist: job %s/%s failed after %.1fs: %v", req.Set, req.Key, time.Since(start).Seconds(), err)
+		return JobResponse{Key: req.Key, Error: err.Error()}
+	}
+	log.Printf("dist: job %s/%s done in %.1fs", req.Set, req.Key, time.Since(start).Seconds())
+	return JobResponse{Key: req.Key, Result: data}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("dist: write response: %v", err)
+	}
+}
+
+// Serve runs a worker on addr (":8701" or "host:port") until the listener
+// fails. It logs the job sets it can execute so operators can eyeball
+// binary mismatches across the fleet.
+func Serve(addr string) error {
+	log.Printf("dist: worker listening on %s (job sets: %v)", addr, runner.SetNames())
+	return (&http.Server{Addr: addr, Handler: Handler()}).ListenAndServe()
+}

@@ -1,0 +1,244 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"firm/internal/runner"
+	"firm/internal/sim"
+)
+
+// registerArithSet installs a synthetic job set whose results are a pure
+// function of (seed, key) — the same contract real sets get from DeriveSeed
+// — with a touch of latency so loopback workers interleave.
+func registerArithSet(name string, keys []string, badKey string) {
+	runner.Register(name, runner.Set{
+		Keys: func(scale string, seed int64) ([]string, error) {
+			return append([]string(nil), keys...), nil
+		},
+		Run: func(scale string, seed int64, key string) ([]byte, error) {
+			if key == badKey {
+				return nil, fmt.Errorf("synthetic job failure at %s", key)
+			}
+			time.Sleep(2 * time.Millisecond)
+			return json.Marshal(fmt.Sprintf("%s/%s@%d", scale, key, sim.DeriveSeed(seed, key)))
+		},
+	})
+}
+
+func keysN(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}
+
+// localResults computes the reference results the way a single machine
+// would, straight from the registry.
+func localResults(t *testing.T, set, scale string, seed int64, keys []string) [][]byte {
+	t.Helper()
+	s, ok := runner.LookupSet(set)
+	if !ok {
+		t.Fatalf("set %q not registered", set)
+	}
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		data, err := s.Run(scale, seed, k)
+		if err != nil {
+			t.Fatalf("local %s: %v", k, err)
+		}
+		out[i] = data
+	}
+	return out
+}
+
+func assertSameBytes(t *testing.T, got []Result, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i].Data) != string(want[i]) {
+			t.Fatalf("result %d differs: %s vs local %s", i, got[i].Data, want[i])
+		}
+	}
+}
+
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestLoopbackByteIdenticalToLocal(t *testing.T) {
+	keys := keysN("k", 12)
+	registerArithSet("dist-test/loopback", keys, "")
+	w1, w2 := newWorker(t), newWorker(t)
+	p := NewPool([]string{w1.URL, w2.URL})
+	got, err := p.Run("dist-test/loopback", "tiny", 42, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBytes(t, got, localResults(t, "dist-test/loopback", "tiny", 42, keys))
+	seen := map[int]bool{}
+	for _, r := range got {
+		if r.Worker < 1 || r.Worker > 2 {
+			t.Fatalf("provenance slot %d out of range", r.Worker)
+		}
+		seen[r.Worker] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("both workers should have produced results, got slots %v", seen)
+	}
+}
+
+// TestWorkerDeathRequeues kills one worker's transport mid-campaign: its
+// in-flight and undispatched jobs must land on the surviving worker and the
+// result bytes must not change.
+func TestWorkerDeathRequeues(t *testing.T) {
+	keys := keysN("k", 10)
+	registerArithSet("dist-test/requeue", keys, "")
+	inner := Handler()
+	var served atomic.Int32
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/run") && served.Add(1) > 2 {
+			panic(http.ErrAbortHandler) // drop the connection: a crashed worker
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer dying.Close()
+	healthy := newWorker(t)
+
+	p := NewPool([]string{dying.URL, healthy.URL})
+	got, err := p.Run("dist-test/requeue", "tiny", 7, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBytes(t, got, localResults(t, "dist-test/requeue", "tiny", 7, keys))
+	if p.Alive() != 1 {
+		t.Fatalf("dying worker should be dropped: alive=%d", p.Alive())
+	}
+	for i, r := range got {
+		if r.Worker == 0 {
+			t.Fatalf("result %d fell back locally with a healthy worker up", i)
+		}
+	}
+}
+
+// TestAllWorkersDeadFallsBackLocally exercises the local-execution
+// fallback: with every worker gone the coordinator must finish the
+// campaign itself, byte-identically.
+func TestAllWorkersDeadFallsBackLocally(t *testing.T) {
+	keys := keysN("k", 6)
+	registerArithSet("dist-test/fallback", keys, "")
+	abort := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/run") {
+			panic(http.ErrAbortHandler)
+		}
+		Handler().ServeHTTP(w, r) // healthz passes: death happens mid-campaign
+	})
+	w1, w2 := httptest.NewServer(abort), httptest.NewServer(abort)
+	defer w1.Close()
+	defer w2.Close()
+	p := NewPool([]string{w1.URL, w2.URL})
+	got, err := p.Run("dist-test/fallback", "tiny", 3, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBytes(t, got, localResults(t, "dist-test/fallback", "tiny", 3, keys))
+	for i, r := range got {
+		if r.Worker != 0 {
+			t.Fatalf("result %d claims worker %d after total pool death", i, r.Worker)
+		}
+	}
+	if p.Alive() != 0 {
+		t.Fatalf("alive=%d after both workers died", p.Alive())
+	}
+}
+
+func TestNoHostsRunsEverythingLocally(t *testing.T) {
+	keys := keysN("k", 4)
+	registerArithSet("dist-test/nohosts", keys, "")
+	p := NewPool(nil)
+	got, err := p.Run("dist-test/nohosts", "quick", 9, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBytes(t, got, localResults(t, "dist-test/nohosts", "quick", 9, keys))
+}
+
+func TestUnreachableHostIsDroppedNotFatal(t *testing.T) {
+	keys := keysN("k", 4)
+	registerArithSet("dist-test/unreachable", keys, "")
+	healthy := newWorker(t)
+	p := NewPool([]string{"127.0.0.1:1", healthy.URL}) // port 1: nothing listens
+	p.ReadyTimeout = 50 * time.Millisecond
+	got, err := p.Run("dist-test/unreachable", "tiny", 5, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBytes(t, got, localResults(t, "dist-test/unreachable", "tiny", 5, keys))
+	for i, r := range got {
+		if r.Worker != 2 {
+			t.Fatalf("result %d produced by slot %d, want the healthy worker (2)", i, r.Worker)
+		}
+	}
+}
+
+// TestJobErrorAbortsCampaign distinguishes application failures from
+// worker failures: a job that runs and fails must abort the campaign (as
+// it would locally), not bounce between workers.
+func TestJobErrorAbortsCampaign(t *testing.T) {
+	keys := keysN("k", 6)
+	registerArithSet("dist-test/joberror", keys, "k3")
+	w := newWorker(t)
+	p := NewPool([]string{w.URL})
+	_, err := p.Run("dist-test/joberror", "tiny", 1, keys)
+	if err == nil || !strings.Contains(err.Error(), "synthetic job failure at k3") {
+		t.Fatalf("want the job's own error, got %v", err)
+	}
+	if p.Alive() != 1 {
+		t.Fatal("a job error must not kill the worker that reported it")
+	}
+}
+
+func TestWorkerRejectsUnknownSetAsJobError(t *testing.T) {
+	w := newWorker(t)
+	p := NewPool([]string{w.URL})
+	_, err := p.Run("dist-test/never-registered", "tiny", 1, []string{"x"})
+	if err == nil || !strings.Contains(err.Error(), "unknown job set") {
+		t.Fatalf("want unknown-set job error, got %v", err)
+	}
+}
+
+func TestTimeoutTreatedAsWorkerFailure(t *testing.T) {
+	keys := keysN("k", 3)
+	registerArithSet("dist-test/timeout", keys, "")
+	inner := Handler()
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/run") {
+			time.Sleep(300 * time.Millisecond)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+	p := NewPool([]string{slow.URL})
+	p.Timeout = 50 * time.Millisecond
+	got, err := p.Run("dist-test/timeout", "tiny", 2, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hung worker is dropped and the campaign completes via fallback.
+	assertSameBytes(t, got, localResults(t, "dist-test/timeout", "tiny", 2, keys))
+	if p.Alive() != 0 {
+		t.Fatal("timed-out worker should be dropped")
+	}
+}

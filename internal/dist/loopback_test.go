@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"firm/internal/experiments"
+)
+
+// TestExperimentSetLoopback runs a whole experiment (fig9c: cheap, no
+// simulation) through a loopback worker and checks the payload is
+// byte-identical to computing it in-process — the unit-level version of the
+// CI smoke's full-campaign comparison.
+func TestExperimentSetLoopback(t *testing.T) {
+	w := newWorker(t)
+	p := NewPool([]string{w.URL})
+	rs, err := p.Run(experiments.ExperimentSet, "tiny", 42, []string{"fig9c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload experiments.ExperimentPayload
+	if err := json.Unmarshal(rs[0].Data, &payload); err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.Fig9c(experiments.TinyScale(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload.Text != res.String() {
+		t.Fatalf("remote text differs from local:\n%s\nvs\n%s", payload.Text, res.String())
+	}
+	rep := res.Report()
+	rep.Scale = "tiny"
+	rep.Seed = 42
+	want, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload.Report, want) {
+		t.Fatalf("remote report record differs from local:\n%s\nvs\n%s", payload.Report, want)
+	}
+	if rs[0].Worker != 1 {
+		t.Fatalf("provenance slot = %d, want 1", rs[0].Worker)
+	}
+}
+
+// TestFineGrainedDispatchByteIdentical installs the pool as the experiments
+// dispatcher and re-runs a real fan-out experiment: the job-level remote
+// path (builder re-enumeration on the worker, JSON round-trip of results)
+// must reproduce the local artifact byte for byte.
+func TestFineGrainedDispatchByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	sc := experiments.TinyScale()
+	local, err := experiments.Table1(sc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := newWorker(t), newWorker(t)
+	p := NewPool([]string{w1.URL, w2.URL})
+	experiments.SetDispatcher(p)
+	defer experiments.SetDispatcher(nil)
+	remote, err := experiments.Table1(sc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Fatalf("dispatched Table1 differs from local:\n%s\nvs\n%s", remote, local)
+	}
+}

@@ -179,28 +179,39 @@ var table1Cols = map[string]string{
 // table1Victims are the injected services of Table 1's rows.
 var table1Victims = []string{"video", "user-tag", "text"}
 
-// table1Row is one victim's measurements.
+// table1Row is one victim's measurements (fields exported for the job
+// set's JSON wire form).
 type table1Row struct {
-	row   map[string]float64
-	total float64
-	sig   string
+	Row   map[string]float64 `json:"row"`
+	Total float64            `json:"total"`
+	Sig   string             `json:"sig"`
 }
 
-// Table1 injects a CPU anomaly at video (V), user-tag (U) and text (T) in
-// turn and measures per-service and total latency of compose-post requests.
-// The three victim runs are independent simulations executed as one job
-// list; every victim keeps the experiment seed so the rows stay paired on
-// the same workload realization (the table compares cells across rows).
-func Table1(sc Scale, seed int64) (*Table1Result, error) {
+// table1Jobs declares the Table 1 job list: one independent simulation per
+// injected victim. Every victim keeps the experiment seed so the rows stay
+// paired on the same workload realization (the table compares cells across
+// rows).
+func table1Jobs(sc Scale, seed int64) ([]runner.Job[table1Row], error) {
 	dur := sc.dur(40 * sim.Second)
 	var jobs []runner.Job[table1Row]
 	for _, victim := range table1Victims {
+		victim := victim
 		jobs = append(jobs, runner.Job[table1Row]{
 			Key: runner.Key("table1", victim),
 			Run: func(int64) (table1Row, error) { return table1Run(victim, seed, dur) },
 		})
 	}
-	rows, err := runner.Map(seed, jobs)
+	return jobs, nil
+}
+
+// Table1 injects a CPU anomaly at video (V), user-tag (U) and text (T) in
+// turn and measures per-service and total latency of compose-post requests.
+func Table1(sc Scale, seed int64) (*Table1Result, error) {
+	jobs, err := table1Jobs(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := mapJobs("table1", sc, seed, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -211,9 +222,9 @@ func Table1(sc Scale, seed int64) (*Table1Result, error) {
 		CPSignatures: map[string]string{},
 	}
 	for i, victim := range table1Victims {
-		res.Rows[victim] = rows[i].row
-		res.Totals[victim] = rows[i].total
-		res.CPSignatures[victim] = rows[i].sig
+		res.Rows[victim] = rows[i].Row
+		res.Totals[victim] = rows[i].Total
+		res.CPSignatures[victim] = rows[i].Sig
 	}
 	return res, nil
 }
@@ -249,9 +260,9 @@ func table1Run(victim string, seed int64, dur sim.Time) (table1Row, error) {
 		p := cpath.Extract(tr)
 		sigCount[p.Signature()]++
 	}
-	out := table1Row{row: map[string]float64{}, total: stats.Mean(totals)}
+	out := table1Row{Row: map[string]float64{}, Total: stats.Mean(totals)}
 	for col, lats := range perSvc {
-		out.row[col] = stats.Mean(lats)
+		out.Row[col] = stats.Mean(lats)
 	}
 	best, bestN := "", 0
 	for sig, n := range sigCount {
@@ -259,7 +270,7 @@ func table1Run(victim string, seed int64, dur sim.Time) (table1Row, error) {
 			best, bestN = sig, n
 		}
 	}
-	out.sig = best
+	out.Sig = best
 	return out, nil
 }
 
@@ -343,19 +354,30 @@ type Fig3Row struct {
 	Groups         int
 }
 
-// Fig3 drives each benchmark with its request mix under the randomized
-// anomaly campaign and groups traces by critical-path signature — one job
-// per benchmark, fanned across the worker pool.
-func Fig3(sc Scale, seed int64) (*Fig3Result, error) {
+// fig3Jobs declares the Fig. 3 job list: one run per benchmark, each
+// grouping its traces by critical-path signature.
+func fig3Jobs(sc Scale, seed int64) ([]runner.Job[Fig3Row], error) {
 	dur := sc.dur(60 * sim.Second)
 	var jobs []runner.Job[Fig3Row]
 	for i, spec := range topology.All() {
+		i, spec := i, spec
 		jobs = append(jobs, runner.Job[Fig3Row]{
 			Key: runner.Key("fig3", spec.Name),
 			Run: func(int64) (Fig3Row, error) { return fig3Run(spec, seed+int64(i), dur) },
 		})
 	}
-	rows, err := runner.Map(seed, jobs)
+	return jobs, nil
+}
+
+// Fig3 drives each benchmark with its request mix under the randomized
+// anomaly campaign and groups traces by critical-path signature — one job
+// per benchmark, fanned across the worker pool.
+func Fig3(sc Scale, seed int64) (*Fig3Result, error) {
+	jobs, err := fig3Jobs(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := mapJobs("fig3", sc, seed, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -460,71 +482,82 @@ type fig4ArmStats struct {
 	P99                       float64
 }
 
-// Fig4 measures compose-post latency before scaling, after scaling text
-// (high variance), and after scaling composePost (high median). The three
-// arms are independent simulations on the same seed (a paired comparison)
-// declared as one job list.
-func Fig4(sc Scale, seed int64) (*Fig4Result, error) {
-	dur := sc.dur(40 * sim.Second)
-	run := func(scale string) (*harness.Bench, sim.Time, error) {
-		b, err := harness.New(harness.Options{
-			Seed: seed, Spec: topology.SocialNetwork(), SLOMargin: 1.6,
-		})
-		if err != nil {
-			return nil, 0, err
-		}
-		t0 := b.Eng.Now()
-		if scale != "" {
-			rs := b.Cluster.ReplicaSet(scale)
-			lim := rs.Containers()[0].Limits()
-			if _, err := rs.AddReplica(lim, false, true); err != nil {
-				return nil, 0, err
-			}
-		}
-		// Bursty CPU pressure on text creates the variance asymmetry the
-		// paper observes: text keeps a lower median than composePost but a
-		// far higher variance (its contention arrives in episodes, while
-		// composePost never contends).
-		victim := b.Cluster.ReplicaSet("text").Containers()[0]
-		for at := 2 * sim.Second; at < dur; at += 5 * sim.Second {
-			at := at
-			b.Eng.Schedule(at, func() {
-				b.Injector.Inject(injector.Injection{
-					Kind: injector.CPUStress, Target: victim, Intensity: 0.5,
-					Duration: 1500 * sim.Millisecond,
-				})
-			})
-		}
-		gen := newEndpointDriver(b, "compose-post", 100)
-		gen.start()
-		b.Eng.RunFor(dur)
-		return b, t0, nil
+// fig4Arm runs one Fig. 4 arm: a Social Network bench under bursty CPU
+// pressure on text, optionally with one extra replica of the named service,
+// measuring compose-post latency (span stats only on the unscaled baseline).
+func fig4Arm(seed int64, dur sim.Time, scale string) (fig4ArmStats, error) {
+	b, err := harness.New(harness.Options{
+		Seed: seed, Spec: topology.SocialNetwork(), SLOMargin: 1.6,
+	})
+	if err != nil {
+		return fig4ArmStats{}, err
 	}
-
-	q := func(t0 sim.Time) tracedb.Query {
-		return tracedb.Query{Type: "compose-post", Since: t0}
-	}
-	arm := func(scale string) (fig4ArmStats, error) {
-		b, t0, err := run(scale)
-		if err != nil {
+	t0 := b.Eng.Now()
+	if scale != "" {
+		rs := b.Cluster.ReplicaSet(scale)
+		lim := rs.Containers()[0].Limits()
+		if _, err := rs.AddReplica(lim, false, true); err != nil {
 			return fig4ArmStats{}, err
 		}
-		st := fig4ArmStats{P99: stats.Percentile(b.DB.Latencies(q(t0)), 99)}
-		if scale == "" {
-			perSvc := b.DB.ServiceLatencies(q(t0))
-			st.TextMedian = stats.Median(perSvc["text"])
-			st.TextStd = stats.StdDev(perSvc["text"])
-			st.ComposeMedian = stats.Median(perSvc["compose-post"])
-			st.ComposeStd = stats.StdDev(perSvc["compose-post"])
-		}
-		return st, nil
 	}
-	jobs := []runner.Job[fig4ArmStats]{
-		{Key: "fig4/before", Run: func(int64) (fig4ArmStats, error) { return arm("") }},
-		{Key: "fig4/scale-text", Run: func(int64) (fig4ArmStats, error) { return arm("text") }},
-		{Key: "fig4/scale-compose", Run: func(int64) (fig4ArmStats, error) { return arm("compose-post") }},
+	// Bursty CPU pressure on text creates the variance asymmetry the
+	// paper observes: text keeps a lower median than composePost but a
+	// far higher variance (its contention arrives in episodes, while
+	// composePost never contends).
+	victim := b.Cluster.ReplicaSet("text").Containers()[0]
+	for at := 2 * sim.Second; at < dur; at += 5 * sim.Second {
+		at := at
+		b.Eng.Schedule(at, func() {
+			b.Injector.Inject(injector.Injection{
+				Kind: injector.CPUStress, Target: victim, Intensity: 0.5,
+				Duration: 1500 * sim.Millisecond,
+			})
+		})
 	}
-	arms, err := runner.Map(seed, jobs)
+	gen := newEndpointDriver(b, "compose-post", 100)
+	gen.start()
+	b.Eng.RunFor(dur)
+
+	q := tracedb.Query{Type: "compose-post", Since: t0}
+	st := fig4ArmStats{P99: stats.Percentile(b.DB.Latencies(q), 99)}
+	if scale == "" {
+		perSvc := b.DB.ServiceLatencies(q)
+		st.TextMedian = stats.Median(perSvc["text"])
+		st.TextStd = stats.StdDev(perSvc["text"])
+		st.ComposeMedian = stats.Median(perSvc["compose-post"])
+		st.ComposeStd = stats.StdDev(perSvc["compose-post"])
+	}
+	return st, nil
+}
+
+// fig4Jobs declares the Fig. 4 job list: the three arms are independent
+// simulations on the same seed (a paired comparison).
+func fig4Jobs(sc Scale, seed int64) ([]runner.Job[fig4ArmStats], error) {
+	dur := sc.dur(40 * sim.Second)
+	arms := []struct{ key, scale string }{
+		{"fig4/before", ""},
+		{"fig4/scale-text", "text"},
+		{"fig4/scale-compose", "compose-post"},
+	}
+	var jobs []runner.Job[fig4ArmStats]
+	for _, a := range arms {
+		a := a
+		jobs = append(jobs, runner.Job[fig4ArmStats]{
+			Key: a.key,
+			Run: func(int64) (fig4ArmStats, error) { return fig4Arm(seed, dur, a.scale) },
+		})
+	}
+	return jobs, nil
+}
+
+// Fig4 measures compose-post latency before scaling, after scaling text
+// (high variance), and after scaling composePost (high median).
+func Fig4(sc Scale, seed int64) (*Fig4Result, error) {
+	jobs, err := fig4Jobs(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	arms, err := mapJobs("fig4", sc, seed, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -601,15 +634,33 @@ func fig5Loads(sc Scale) []float64 {
 	return []float64{250, 750, 1250, 1750, 2250}
 }
 
-// Fig5 sweeps load and compares scale-up (double the bottleneck's limits)
-// with scale-out (add one replica) under a matching resource anomaly. Each
-// (benchmark, resource, load, strategy, repetition) cell is an independent
-// simulation: the sweep declares one job per cell and fans them across the
-// worker pool. The two strategy arms of one repetition share a seed (the
-// comparison is paired on the same workload realization) while repetitions
-// differ, which is what the CI bars measure.
-func Fig5(sc Scale, seed int64) (*Fig5Result, error) {
-	loads := fig5Loads(sc)
+// fig5Slot locates one job's merge position in the sweep.
+type fig5Slot struct {
+	row     int
+	scaleUp bool
+}
+
+// fig5Rows enumerates the sweep's (benchmark, resource, load) rows once, so
+// the job declaration and the merge are driven by the same table rather
+// than replayed loops.
+func fig5Rows(sc Scale) []Fig5Row {
+	var rows []Fig5Row
+	for _, benchName := range fig5Benches {
+		for _, resource := range fig5Resources {
+			for _, load := range fig5Loads(sc) {
+				rows = append(rows, Fig5Row{Benchmark: benchName, Resource: resource, LoadRPS: load})
+			}
+		}
+	}
+	return rows
+}
+
+// fig5Plan declares the Fig. 5 job list — one job per (row, strategy,
+// repetition) cell — plus each job's merge slot. The two strategy arms of
+// one repetition share a seed (the comparison is paired on the same
+// workload realization) while repetitions differ, which is what the CI
+// bars measure.
+func fig5Plan(sc Scale, seed int64) ([]runner.Job[[]float64], []fig5Slot, []Fig5Row, error) {
 	dur := sc.dur(30 * sim.Second)
 	reps := sc.Reps
 	if reps < 1 {
@@ -617,27 +668,14 @@ func Fig5(sc Scale, seed int64) (*Fig5Result, error) {
 	}
 	for _, benchName := range fig5Benches {
 		if _, err := topology.ByName(benchName); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
-	// Enumerate the sweep's rows once, then declare one job per
-	// (row, arm, rep) cell carrying its row index and arm, so the merge
-	// below is driven by job metadata rather than a replay of these loops.
-	var rows []Fig5Row
-	for _, benchName := range fig5Benches {
-		for _, resource := range fig5Resources {
-			for _, load := range loads {
-				rows = append(rows, Fig5Row{Benchmark: benchName, Resource: resource, LoadRPS: load})
-			}
-		}
-	}
-	type slot struct {
-		row     int
-		scaleUp bool
-	}
+	rows := fig5Rows(sc)
 	var jobs []runner.Job[[]float64]
-	var slots []slot
+	var slots []fig5Slot
 	for ri, row := range rows {
+		row := row
 		for _, arm := range fig5Arms {
 			for rep := 0; rep < reps; rep++ {
 				pairKey := runner.Key("fig5", row.Benchmark, row.Resource, row.LoadRPS, "rep", rep)
@@ -648,11 +686,29 @@ func Fig5(sc Scale, seed int64) (*Fig5Result, error) {
 						return fig5Arm(row.Benchmark, row.Resource, row.LoadRPS, dur, sim.DeriveSeed(seed, pairKey), scaleUp)
 					},
 				})
-				slots = append(slots, slot{row: ri, scaleUp: scaleUp})
+				slots = append(slots, fig5Slot{row: ri, scaleUp: scaleUp})
 			}
 		}
 	}
-	lats, err := runner.Map(seed, jobs)
+	return jobs, slots, rows, nil
+}
+
+// fig5Jobs is fig5Plan's job list alone (the registered job-set builder).
+func fig5Jobs(sc Scale, seed int64) ([]runner.Job[[]float64], error) {
+	jobs, _, _, err := fig5Plan(sc, seed)
+	return jobs, err
+}
+
+// Fig5 sweeps load and compares scale-up (double the bottleneck's limits)
+// with scale-out (add one replica) under a matching resource anomaly. Each
+// (benchmark, resource, load, strategy, repetition) cell is an independent
+// simulation fanned across the worker pool.
+func Fig5(sc Scale, seed int64) (*Fig5Result, error) {
+	jobs, slots, rows, err := fig5Plan(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	lats, err := mapJobs("fig5", sc, seed, jobs)
 	if err != nil {
 		return nil, err
 	}

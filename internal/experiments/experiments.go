@@ -63,6 +63,21 @@ func FullScale() Scale {
 	return Scale{Name: "full", DurationMul: 1, EpisodeCount: 400, CheckpointEvery: 40, Reps: 10}
 }
 
+// ScaleByName resolves a scale name to its Scale. The named scales are the
+// only ones that cross process boundaries: a distributed job carries just
+// the name, and every machine must expand it to the identical parameters.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return TinyScale(), nil
+	case "quick":
+		return QuickScale(), nil
+	case "full":
+		return FullScale(), nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q (want tiny|quick|full)", name)
+}
+
 func (s Scale) dur(base sim.Time) sim.Time {
 	d := sim.Time(float64(base) * s.DurationMul)
 	if d < 5*sim.Second {

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"firm/internal/runner"
+	"firm/internal/sim"
+)
+
+// This file turns the experiments' fan-out job lists from closure-only
+// values into named, enumerable, serializable job sets. Each self-contained
+// sweep — one whose job list is a pure, cheap function of (scale, seed) —
+// registers a builder here; the builder is the single source of truth for
+// the list, so the machine that schedules a job and the machine that
+// executes it reconstruct identical jobs from nothing but (set, scale,
+// seed, key). Experiments whose jobs capture expensive setup (trained
+// agents, checkpoint snapshots: fig1, fig10, fig11a, fig11b) keep their
+// closures local and distribute at whole-experiment granularity instead
+// (registry.go's ExperimentSet).
+
+// Dispatcher executes a registered job set's jobs somewhere else — the
+// distributed coordinator installs internal/dist's worker pool here. RunJobs
+// must return one JSON result per key, in key order, each produced by the
+// set's registered Run (same seed derivation as the local path).
+type Dispatcher interface {
+	RunJobs(set, scale string, seed int64, keys []string) ([][]byte, error)
+}
+
+var (
+	dispatchMu sync.Mutex
+	dispatch   Dispatcher
+)
+
+// SetDispatcher installs the remote executor consulted by every registered
+// job set (nil restores local execution). Installing a dispatcher never
+// changes results — job seeds derive from the campaign seed and job key on
+// whichever machine runs them — only where the work happens.
+func SetDispatcher(d Dispatcher) {
+	dispatchMu.Lock()
+	dispatch = d
+	dispatchMu.Unlock()
+}
+
+func currentDispatcher() Dispatcher {
+	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	return dispatch
+}
+
+// fineSets names the registered fine-grained job sets (they share the
+// owning experiment's id, which is what lets the coordinator pick
+// cell-level dispatch for a single-experiment campaign).
+var fineSets = map[string]bool{}
+
+// HasJobSet reports whether the experiment id has a registered
+// fine-grained job set, i.e. whether its fan-out can be dispatched cell by
+// cell rather than as one whole-experiment job.
+func HasJobSet(id string) bool { return fineSets[id] }
+
+// wireEncode serializes a fine-grained job result for the wire: gob for
+// the value — bit-exact float64s including NaN and ±Inf, which plain
+// encoding/json rejects, so a job whose statistics legitimately come out
+// NaN behaves identically locally and remotely — wrapped in a JSON string
+// (base64) to keep the protocol envelope JSON.
+func wireEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(buf.Bytes())
+}
+
+// wireDecode reverses wireEncode.
+func wireDecode[T any](raw []byte, out *T) error {
+	var blob []byte
+	if err := json.Unmarshal(raw, &blob); err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(blob)).Decode(out)
+}
+
+// registerJobs installs a fan-out job-list builder as a named runner set.
+// The runner.Set adapter gives remote workers enumeration and execution; T
+// must survive a gob round-trip (exported fields), which keeps remote
+// results byte-identical to local ones.
+func registerJobs[T any](name string, build func(Scale, int64) ([]runner.Job[T], error)) {
+	fineSets[name] = true
+	runner.Register(name, runner.Set{
+		Keys: func(scale string, seed int64) ([]string, error) {
+			jobs, err := buildNamed(name, build, scale, seed)
+			if err != nil {
+				return nil, err
+			}
+			keys := make([]string, len(jobs))
+			for i, j := range jobs {
+				keys[i] = j.Key
+			}
+			return keys, nil
+		},
+		Run: func(scale string, seed int64, key string) ([]byte, error) {
+			jobs, err := buildNamed(name, build, scale, seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, j := range jobs {
+				if j.Key == key {
+					res, err := j.Run(sim.DeriveSeed(seed, key))
+					if err != nil {
+						return nil, err
+					}
+					return wireEncode(res)
+				}
+			}
+			return nil, fmt.Errorf("experiments: job set %q has no job %q", name, key)
+		},
+	})
+}
+
+func buildNamed[T any](name string, build func(Scale, int64) ([]runner.Job[T], error), scale string, seed int64) ([]runner.Job[T], error) {
+	sc, err := ScaleByName(scale)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: job set %q: %w", name, err)
+	}
+	return build(sc, seed)
+}
+
+func init() {
+	registerJobs("table1", table1Jobs)
+	registerJobs("fig3", fig3Jobs)
+	registerJobs("fig4", fig4Jobs)
+	registerJobs("fig5", fig5Jobs)
+	registerJobs("fig9a", fig9aJobs)
+	registerJobs("fig9b", fig9bJobs)
+}
+
+// mapJobs runs a registered set's job list: remotely when a dispatcher is
+// installed (and the scale is a named one a remote machine can rebuild),
+// locally on runner.Map otherwise. jobs must be the set's own builder
+// output for (sc, seed) — callers that also need plan metadata build once
+// and pass the list through, rather than having mapJobs re-enumerate it.
+// Results come back in declaration order either way, and are byte-identical
+// either way.
+func mapJobs[T any](name string, sc Scale, seed int64, jobs []runner.Job[T]) ([]T, error) {
+	if d := currentDispatcher(); d != nil {
+		// Remote dispatch requires a scale a remote process can expand from
+		// its name; ad-hoc Scale values (tests) always run locally.
+		if _, err := ScaleByName(sc.Name); err == nil {
+			keys := make([]string, len(jobs))
+			for i, j := range jobs {
+				keys[i] = j.Key
+			}
+			raws, err := d.RunJobs(name, sc.Name, seed, keys)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: dispatch %s: %w", name, err)
+			}
+			if len(raws) != len(jobs) {
+				return nil, fmt.Errorf("experiments: dispatch %s: got %d results for %d jobs", name, len(raws), len(jobs))
+			}
+			out := make([]T, len(jobs))
+			for i, raw := range raws {
+				if err := wireDecode(raw, &out[i]); err != nil {
+					return nil, fmt.Errorf("experiments: dispatch %s: decode %s: %w", name, jobs[i].Key, err)
+				}
+			}
+			return out, nil
+		}
+	}
+	return runner.Map(seed, jobs)
+}

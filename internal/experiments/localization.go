@@ -123,31 +123,37 @@ func collectAnomalyEvents(spec *topology.Spec, seed int64, kind injector.Kind,
 	return samples, nil
 }
 
-// fig9aKind is one anomaly type's ROC study.
+// fig9aKind is one anomaly type's ROC study (fields exported for the job
+// set's JSON wire form).
 type fig9aKind struct {
-	auc   float64
-	curve [][2]float64
-	tpr15 float64
+	AUC   float64      `json:"auc"`
+	Curve [][2]float64 `json:"curve"`
+	TPR15 float64      `json:"tpr15"`
 }
 
-// Fig9a runs the single-anomaly localization study per anomaly type
-// (network delay, CPU, LLC, memory bandwidth, I/O, network bandwidth) and
-// sweeps the SVM decision threshold to trace each ROC curve. The per-type
-// studies are independent (each trains its own extractor on its own
-// campaigns) and fan out as one job per anomaly kind, seeded from the
-// campaign seed and the kind's name.
-func Fig9a(sc Scale, seed int64) (*Fig9aResult, error) {
-	spec := topology.SocialNetwork()
-	events := 20
+// fig9aAnomalies are the per-type studies of Fig. 9(a), in figure order.
+var fig9aAnomalies = []injector.Kind{
+	injector.NetworkDelay, injector.CPUStress, injector.LLCStress,
+	injector.MemBWStress, injector.IOStress, injector.NetBWStress,
+}
+
+func fig9aEvents(sc Scale) int {
 	if sc.DurationMul >= 1 {
-		events = 50
+		return 50
 	}
-	kinds := []injector.Kind{
-		injector.NetworkDelay, injector.CPUStress, injector.LLCStress,
-		injector.MemBWStress, injector.IOStress, injector.NetBWStress,
-	}
+	return 20
+}
+
+// fig9aJobs declares the Fig. 9(a) job list: the per-type studies are
+// independent (each trains its own extractor on its own campaigns) and fan
+// out as one job per anomaly kind, seeded from the campaign seed and the
+// kind's name.
+func fig9aJobs(sc Scale, seed int64) ([]runner.Job[fig9aKind], error) {
+	spec := topology.SocialNetwork()
+	events := fig9aEvents(sc)
 	var jobs []runner.Job[fig9aKind]
-	for _, kind := range kinds {
+	for _, kind := range fig9aAnomalies {
+		kind := kind
 		jobs = append(jobs, runner.Job[fig9aKind]{
 			Key: runner.Key("fig9a", kind),
 			Run: func(jobSeed int64) (fig9aKind, error) {
@@ -155,7 +161,18 @@ func Fig9a(sc Scale, seed int64) (*Fig9aResult, error) {
 			},
 		})
 	}
-	studies, err := runner.Map(seed, jobs)
+	return jobs, nil
+}
+
+// Fig9a runs the single-anomaly localization study per anomaly type
+// (network delay, CPU, LLC, memory bandwidth, I/O, network bandwidth) and
+// sweeps the SVM decision threshold to trace each ROC curve.
+func Fig9a(sc Scale, seed int64) (*Fig9aResult, error) {
+	jobs, err := fig9aJobs(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	studies, err := mapJobs("fig9a", sc, seed, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -164,12 +181,12 @@ func Fig9a(sc Scale, seed int64) (*Fig9aResult, error) {
 		TPRAtFPR15: map[string]float64{},
 	}
 	var aucs []float64
-	for i, kind := range kinds {
+	for i, kind := range fig9aAnomalies {
 		name := kind.String()
-		res.AUC[name] = studies[i].auc
-		res.Curves[name] = studies[i].curve
-		res.TPRAtFPR15[name] = studies[i].tpr15
-		aucs = append(aucs, studies[i].auc)
+		res.AUC[name] = studies[i].AUC
+		res.Curves[name] = studies[i].Curve
+		res.TPRAtFPR15[name] = studies[i].TPR15
+		aucs = append(aucs, studies[i].AUC)
 	}
 	res.AvgAUC = stats.Mean(aucs)
 	return res, nil
@@ -205,9 +222,9 @@ func fig9aStudy(spec *topology.Spec, seed int64, kind injector.Kind, events int)
 	if err != nil {
 		return fig9aKind{}, err
 	}
-	st := fig9aKind{auc: auc, tpr15: tprAt(fpr, tpr, 0.15)}
+	st := fig9aKind{AUC: auc, TPR15: tprAt(fpr, tpr, 0.15)}
 	for j := range fpr {
-		st.curve = append(st.curve, [2]float64{fpr[j], tpr[j]})
+		st.Curve = append(st.Curve, [2]float64{fpr[j], tpr[j]})
 	}
 	return st, nil
 }
@@ -288,31 +305,33 @@ type Fig9bResult struct {
 	Overall  float64
 }
 
-// Fig9b runs the Fig. 9(c) campaign — consecutive 10s windows with per-type
-// random intensities — on x86-only and ppc64-only clusters and scores
-// instance-level localization accuracy.
-func Fig9b(sc Scale, seed int64) (*Fig9bResult, error) {
-	res := &Fig9bResult{Accuracy: map[string]map[string]float64{
-		"x86": {}, "ppc64": {},
-	}}
+// fig9bSlot locates one job's merge position in the (ISA, benchmark) grid.
+type fig9bSlot struct{ arch, bench string }
+
+// fig9bWindows is the number of 10s injection windows per run at the scale.
+func fig9bWindows(sc Scale) int {
+	if sc.DurationMul < 1 {
+		return 6
+	}
+	return 12
+}
+
+// fig9bPlan declares the Fig. 9(b) job list — one job per (ISA, benchmark)
+// run — plus each job's merge slot. The two ISA arms of a benchmark share a
+// seed derived from the benchmark's name, so both architectures face the
+// same Fig. 9(c) injection schedule — the comparison the figure makes —
+// while benchmarks stay decorrelated.
+func fig9bPlan(sc Scale, seed int64) ([]runner.Job[float64], []fig9bSlot) {
 	archNodes := map[string][]cluster.HardwareProfile{
 		"x86":   repeatProfile(cluster.XeonProfile, 15),
 		"ppc64": repeatProfile(cluster.PowerProfile, 15),
 	}
-	windows := 12
-	if sc.DurationMul < 1 {
-		windows = 6
-	}
-	// One job per (ISA, benchmark) run. The two ISA arms of a benchmark
-	// share a seed derived from the benchmark's name, so both architectures
-	// face the same Fig. 9(c) injection schedule — the comparison the figure
-	// makes — while benchmarks stay decorrelated.
-	arches := []string{"x86", "ppc64"}
-	type slot struct{ arch, bench string }
+	windows := fig9bWindows(sc)
 	var jobs []runner.Job[float64]
-	var slots []slot
-	for _, arch := range arches {
+	var slots []fig9bSlot
+	for _, arch := range []string{"x86", "ppc64"} {
 		for _, spec := range topology.All() {
+			spec := spec
 			nodes := archNodes[arch]
 			pairSeed := fig9bPairSeed(seed, spec.Name)
 			jobs = append(jobs, runner.Job[float64]{
@@ -321,10 +340,27 @@ func Fig9b(sc Scale, seed int64) (*Fig9bResult, error) {
 					return fig9bRun(spec, pairSeed, nodes, windows)
 				},
 			})
-			slots = append(slots, slot{arch: arch, bench: spec.Name})
+			slots = append(slots, fig9bSlot{arch: arch, bench: spec.Name})
 		}
 	}
-	accs, err := runner.Map(seed, jobs)
+	return jobs, slots
+}
+
+// fig9bJobs is fig9bPlan's job list alone (the registered job-set builder).
+func fig9bJobs(sc Scale, seed int64) ([]runner.Job[float64], error) {
+	jobs, _ := fig9bPlan(sc, seed)
+	return jobs, nil
+}
+
+// Fig9b runs the Fig. 9(c) campaign — consecutive 10s windows with per-type
+// random intensities — on x86-only and ppc64-only clusters and scores
+// instance-level localization accuracy.
+func Fig9b(sc Scale, seed int64) (*Fig9bResult, error) {
+	res := &Fig9bResult{Accuracy: map[string]map[string]float64{
+		"x86": {}, "ppc64": {},
+	}}
+	jobs, slots := fig9bPlan(sc, seed)
+	accs, err := mapJobs("fig9b", sc, seed, jobs)
 	if err != nil {
 		return nil, err
 	}

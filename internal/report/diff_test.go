@@ -112,6 +112,51 @@ func TestDiffNonFinite(t *testing.T) {
 	}
 }
 
+// TestDiffNonFiniteUnderTolerance pins the non-finite contract with a
+// nonzero tolerance in force: equal non-finite values (NaN/NaN, same-signed
+// infinities) match exactly, every other pairing involving a non-finite
+// value mismatches no matter how loose the tolerance — a relative tolerance
+// has no meaning against NaN or Inf.
+func TestDiffNonFiniteUnderTolerance(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	tol := Tolerances{Default: 0.5, Metric: map[string]float64{"p99": 1e9}}
+	cases := []struct {
+		name     string
+		av, bv   float64
+		mismatch bool
+	}{
+		{"nan-nan", nan, nan, false},
+		{"inf-inf", inf, inf, false},
+		{"neginf-neginf", -inf, -inf, false},
+		{"nan-number", nan, 100, true},
+		{"number-nan", 100, nan, true},
+		{"inf-neginf", inf, -inf, true},
+		{"inf-number", inf, 1e300, true},
+		{"nan-inf", nan, inf, true},
+	}
+	for _, tc := range cases {
+		a, b := diffCampaign(), diffCampaign()
+		a.Reports[0].Rows[0].Values[0].Value = Float(tc.av) // metric "p99"
+		b.Reports[0].Rows[0].Values[0].Value = Float(tc.bv)
+		d := Diff(a, b, tol)
+		if got := len(d.Mismatches) > 0; got != tc.mismatch {
+			t.Errorf("%s: mismatch=%v, want %v (%+v)", tc.name, got, tc.mismatch, d.Mismatches)
+		}
+	}
+	// Series points follow the same rule under per-series tolerance.
+	a, b := diffCampaign(), diffCampaign()
+	a.Reports[0].Series[0].Y = []Float{Float(nan), Float(inf)}
+	b.Reports[0].Series[0].Y = []Float{Float(nan), Float(inf)}
+	if d := Diff(a, b, tol); len(d.Mismatches) != 0 {
+		t.Fatalf("equal non-finite series points must match: %+v", d.Mismatches)
+	}
+	b.Reports[0].Series[0].Y = []Float{Float(nan), 20}
+	d := Diff(a, b, Tolerances{Default: 0.5, Metric: map[string]float64{"curve": 1e9}})
+	if len(d.Mismatches) != 1 || !strings.Contains(d.Mismatches[0].Path, "series[curve]") {
+		t.Fatalf("Inf vs finite series point must mismatch at any tolerance: %+v", d.Mismatches)
+	}
+}
+
 func TestDiffSeriesToleranceKeysOffSeriesName(t *testing.T) {
 	b := diffCampaign()
 	b.Reports[0].Series[0].Y[0] = 10.5 // "curve" point: rel diff ~0.048

@@ -108,3 +108,20 @@ type Campaign struct {
 	Seed    int64     `json:"seed"`
 	Reports []*Report `json:"reports"`
 }
+
+// Merge appends a report to the campaign, recording which distributed
+// worker slot produced it. worker is 1-based; 0 means the report was
+// computed in-process (a local run, or the coordinator's local-execution
+// fallback) and keeps the field out of the encoding entirely. Workers is
+// the only machine-dependent field in the schema — it makes a merged file's
+// provenance auditable while Diff downgrades it to a note, so a distributed
+// campaign still diffs clean at tolerance 0 against a single-machine run.
+// Callers merge in declaration order: report order is part of the canonical
+// encoding, so the merge order, not completion order, fixes the bytes.
+func (c *Campaign) Merge(rep *Report, worker int) {
+	if worker < 0 {
+		worker = 0
+	}
+	rep.Workers = worker
+	c.Reports = append(c.Reports, rep)
+}

@@ -203,3 +203,38 @@ func TestFloatUnmarshalRejectsJunk(t *testing.T) {
 		}
 	}
 }
+
+func TestCampaignMergeRecordsProvenance(t *testing.T) {
+	c := &Campaign{Tool: "firmbench", Scale: "tiny", Seed: 42}
+	c.Merge(New("fig3"), 2)
+	c.Merge(New("fig5"), 0)
+	c.Merge(New("table1"), -7) // defensive: negative slots are local
+	if got := []int{c.Reports[0].Workers, c.Reports[1].Workers, c.Reports[2].Workers}; got[0] != 2 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("workers provenance = %v, want [2 0 0]", got)
+	}
+	if c.Reports[0].ID != "fig3" || c.Reports[2].ID != "table1" {
+		t.Fatal("merge must preserve declaration order")
+	}
+	// Workers stays out of the encoding when 0, so a local file and a
+	// coordinator fallback file stay byte-identical.
+	data, err := Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), `"workers"`); n != 1 {
+		t.Fatalf("want exactly one workers field in the encoding, got %d:\n%s", n, data)
+	}
+	// Provenance divergence is a note, not a mismatch: distributed runs
+	// must diff clean against local runs at tolerance 0.
+	local := &Campaign{Tool: "firmbench", Scale: "tiny", Seed: 42}
+	local.Merge(New("fig3"), 0)
+	local.Merge(New("fig5"), 0)
+	local.Merge(New("table1"), 0)
+	d := Diff(c, local, Tolerances{})
+	if len(d.Mismatches) != 0 {
+		t.Fatalf("workers provenance must not be a mismatch: %+v", d.Mismatches)
+	}
+	if len(d.Notes) != 1 || !strings.Contains(d.Notes[0], "workers") {
+		t.Fatalf("workers divergence should surface as one note: %v", d.Notes)
+	}
+}

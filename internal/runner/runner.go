@@ -45,9 +45,15 @@ type Event struct {
 }
 
 var (
-	mu       sync.Mutex
-	workers  = runtime.GOMAXPROCS(0)
-	active   int // execution slots in use: running jobs + loaned slots
+	mu      sync.Mutex
+	workers = runtime.GOMAXPROCS(0)
+	// Execution slots in use are accounted in two separate ledgers: slots
+	// occupied by running Map jobs and slots loaned out via AcquireUpTo.
+	// Keeping them apart means a buggy over-release of loans can never eat
+	// into the accounting of jobs that are still running (which would let
+	// AcquireUpTo oversubscribe the pool).
+	running  int
+	loaned   int
 	progress func(Event)
 )
 
@@ -83,36 +89,39 @@ func AcquireUpTo(n int) int {
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	spare := workers - active
+	spare := workers - running - loaned
 	if n > spare {
 		n = spare
 	}
 	if n < 0 {
 		n = 0
 	}
-	active += n
+	loaned += n
 	return n
 }
 
-// ReleaseSlots returns slots claimed with AcquireUpTo.
+// ReleaseSlots returns slots claimed with AcquireUpTo. Releasing more than
+// is currently on loan returns only the outstanding loans: the job ledger
+// is untouched, so a double release cannot inflate the spare budget while
+// jobs are still running.
 func ReleaseSlots(n int) {
 	if n <= 0 {
 		return
 	}
 	mu.Lock()
-	active -= n
-	if active < 0 {
-		active = 0
+	if n > loaned {
+		n = loaned
 	}
+	loaned -= n
 	mu.Unlock()
 }
 
 // jobRunning accounts one executing job in the shared slot budget.
 func jobRunning(delta int) {
 	mu.Lock()
-	active += delta
-	if active < 0 {
-		active = 0
+	running += delta
+	if running < 0 {
+		running = 0
 	}
 	mu.Unlock()
 }
@@ -158,14 +167,21 @@ func MapN[T any](nWorkers int, campaignSeed int64, jobs []Job[T]) ([]T, error) {
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 
+	// runJob executes one job inside the slot ledger; the deferred release
+	// means a job that fails (or panics clear through Map) can never leak
+	// its execution slot and starve later campaigns of budget.
+	runJob := func(i int) {
+		jobRunning(1)
+		defer jobRunning(-1)
+		results[i], errs[i] = jobs[i].Run(sim.DeriveSeed(campaignSeed, jobs[i].Key))
+	}
+
 	var failed atomic.Bool
 
 	if nWorkers <= 1 {
 		// Inline fast path: no goroutines, same semantics.
 		for i, j := range jobs {
-			jobRunning(1)
-			results[i], errs[i] = j.Run(sim.DeriveSeed(campaignSeed, j.Key))
-			jobRunning(-1)
+			runJob(i)
 			report(Event{Key: j.Key, Done: i + 1, N: len(jobs), Err: errs[i]})
 			if errs[i] != nil {
 				break
@@ -187,9 +203,7 @@ func MapN[T any](nWorkers int, campaignSeed int64, jobs []Job[T]) ([]T, error) {
 					continue // fail-fast: drain without running
 				}
 				j := jobs[i]
-				jobRunning(1)
-				results[i], errs[i] = j.Run(sim.DeriveSeed(campaignSeed, j.Key))
-				jobRunning(-1)
+				runJob(i)
 				if errs[i] != nil {
 					failed.Store(true)
 				}

@@ -196,6 +196,76 @@ func TestMapJobsOccupyBudgetSlots(t *testing.T) {
 	}
 }
 
+// slotLedger reads the shared slot accounting under the package lock.
+func slotLedger() (run, loan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	return running, loaned
+}
+
+// TestMapFailureLeavesNoSlotDebt is the regression test for slot accounting
+// on the error path: a mid-campaign job failure — including one that borrows
+// and returns rollout slots itself — must leave the budget exactly as it
+// found it, at any worker count and under -race.
+func TestMapFailureLeavesNoSlotDebt(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(4)
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		jobs := make([]Job[int], 8)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{Key: Key("j", i), Run: func(int64) (int, error) {
+				// Borrow like an inner rollout round would, then fail
+				// mid-campaign with the loan already returned.
+				n := AcquireUpTo(2)
+				time.Sleep(time.Millisecond)
+				ReleaseSlots(n)
+				if i == 3 {
+					return 0, boom
+				}
+				return i, nil
+			}}
+		}
+		if _, err := MapN(workers, 1, jobs); !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: want boom, got %v", workers, err)
+		}
+		if run, loan := slotLedger(); run != 0 || loan != 0 {
+			t.Fatalf("workers=%d: slot debt after failed campaign: running=%d loaned=%d", workers, run, loan)
+		}
+		if got := AcquireUpTo(4); got != 4 {
+			t.Fatalf("workers=%d: budget shrunk to %d after failed campaign", workers, got)
+		}
+		ReleaseSlots(4)
+	}
+}
+
+// TestReleaseSlotsCannotEatRunningJobs pins the double-release guard: while
+// a job occupies its slot, over-releasing loans must not free the running
+// job's slot for lending (which would oversubscribe the pool).
+func TestReleaseSlotsCannotEatRunningJobs(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(2)
+	var spareSeen int
+	jobs := []Job[int]{{Key: "overrelease", Run: func(int64) (int, error) {
+		ReleaseSlots(10) // buggy caller: nothing is on loan
+		spareSeen = AcquireUpTo(10)
+		ReleaseSlots(spareSeen)
+		return 0, nil
+	}}}
+	if _, err := MapN(1, 0, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if spareSeen != 1 {
+		t.Fatalf("over-release freed a running job's slot: spare=%d, want 1 of a 2-slot budget", spareSeen)
+	}
+	if run, loan := slotLedger(); run != 0 || loan != 0 {
+		t.Fatalf("ledger left dirty: running=%d loaned=%d", run, loan)
+	}
+}
+
 func TestKeyJoinsSegments(t *testing.T) {
 	if got := Key("fig5", "cpu", 250, "rep", 0); got != "fig5/cpu/250/rep/0" {
 		t.Fatalf("Key: %q", got)

@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// A Set is a named, re-enumerable job list: every machine rebuilds the
+// identical list — same keys, in the same declaration order, with the same
+// semantics — from nothing but a scale name and the campaign seed. That is
+// what turns a Job from a closure, runnable only in the process that built
+// it, into a serializable (set, key) reference that internal/dist can ship
+// to another machine. Execution keeps the local seeding contract: a set's
+// Run derives the job seed from the campaign seed and the job key exactly
+// as Map does, so where a job runs (and how often it was retried) can never
+// change its result.
+type Set struct {
+	// Keys enumerates the set's job keys in declaration order.
+	Keys func(scale string, seed int64) ([]string, error)
+	// Run rebuilds the job list and executes the job with the given key,
+	// returning its result encoded as JSON.
+	Run func(scale string, seed int64, key string) ([]byte, error)
+}
+
+var (
+	setMu sync.Mutex
+	sets  = map[string]Set{}
+)
+
+// Register installs a named job set. Registration happens at package init
+// (experiment packages register their fan-out job lists), so a duplicate
+// name is a programming error and panics.
+func Register(name string, s Set) {
+	if name == "" || s.Keys == nil || s.Run == nil {
+		panic("runner: Register requires a name, Keys, and Run")
+	}
+	setMu.Lock()
+	defer setMu.Unlock()
+	if _, dup := sets[name]; dup {
+		panic(fmt.Sprintf("runner: duplicate job set %q", name))
+	}
+	sets[name] = s
+}
+
+// LookupSet returns the named job set.
+func LookupSet(name string) (Set, bool) {
+	setMu.Lock()
+	defer setMu.Unlock()
+	s, ok := sets[name]
+	return s, ok
+}
+
+// SetNames returns the registered set names, sorted.
+func SetNames() []string {
+	setMu.Lock()
+	defer setMu.Unlock()
+	out := make([]string, 0, len(sets))
+	for name := range sets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"firm/internal/sim"
+)
+
+// testSet registers a tiny arithmetic job set under a unique name and
+// returns the name. Results depend only on (seed, key), mirroring the
+// determinism contract real sets inherit from DeriveSeed.
+func testSet(t *testing.T, name string, keys []string) string {
+	t.Helper()
+	Register(name, Set{
+		Keys: func(scale string, seed int64) ([]string, error) {
+			return append([]string(nil), keys...), nil
+		},
+		Run: func(scale string, seed int64, key string) ([]byte, error) {
+			return json.Marshal(sim.DeriveSeed(seed, key) % 1000)
+		},
+	})
+	return name
+}
+
+func TestSetRegistryLookup(t *testing.T) {
+	name := testSet(t, "set-test/lookup", []string{"a", "b"})
+	s, ok := LookupSet(name)
+	if !ok {
+		t.Fatalf("registered set %q not found", name)
+	}
+	keys, err := s.Keys("tiny", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(keys) != "[a b]" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if _, ok := LookupSet("set-test/missing"); ok {
+		t.Fatal("lookup of unregistered set succeeded")
+	}
+	found := false
+	for _, n := range SetNames() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("SetNames() misses %q", name)
+	}
+}
+
+func TestSetRunMatchesDeriveSeed(t *testing.T) {
+	name := testSet(t, "set-test/derive", []string{"k0", "k1"})
+	s, _ := LookupSet(name)
+	got, err := s.Run("tiny", 7, "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(sim.DeriveSeed(7, "k1") % 1000)
+	if string(got) != string(want) {
+		t.Fatalf("Run = %s, want %s", got, want)
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	name := testSet(t, "set-test/dup", []string{"a"})
+	for _, bad := range []func(){
+		func() { testSet(t, name, []string{"a"}) },
+		func() { Register("", Set{}) },
+		func() { Register("set-test/nil", Set{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -16,14 +16,28 @@ var ErrEmpty = errors.New("stats: empty sample")
 
 // Percentile returns the p-th percentile (p in [0,100]) of xs using linear
 // interpolation between closest ranks, matching numpy.percentile's default.
-// xs is not modified.
+// xs is not modified. A sample containing NaN yields NaN: sort.Float64s
+// places NaNs at unspecified positions, so any rank statistic over a
+// NaN-polluted sample would silently report a corrupted value (a P99 could
+// come back as whatever landed at the rank) — NaN in, NaN out instead.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	if len(xs) == 0 || hasNaN(xs) {
 		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	return percentileSorted(s, p)
+}
+
+// hasNaN reports whether xs contains a NaN (rank statistics are undefined
+// on such samples).
+func hasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
 }
 
 func percentileSorted(s []float64, p float64) float64 {
@@ -113,10 +127,20 @@ type Summary struct {
 	P99, P999     float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. A sample containing NaN yields a
+// Summary whose statistics are all NaN (with N still the sample size):
+// sorting NaNs leaves them at unspecified positions, which would otherwise
+// corrupt the order statistics (Min/Max/P99/P999) silently.
 func Summarize(xs []float64) (Summary, error) {
 	if len(xs) == 0 {
 		return Summary{}, ErrEmpty
+	}
+	if hasNaN(xs) {
+		nan := math.NaN()
+		return Summary{
+			N: len(xs), Mean: nan, Std: nan, Min: nan, Max: nan,
+			P50: nan, P90: nan, P95: nan, P99: nan, P999: nan,
+		}, nil
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)

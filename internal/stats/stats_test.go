@@ -281,3 +281,47 @@ func TestMedianOddEven(t *testing.T) {
 		t.Fatalf("even median = %v", m)
 	}
 }
+
+// NaN-polluted samples must propagate NaN rather than report a corrupted
+// rank statistic: sort.Float64s leaves NaNs at unspecified positions, so
+// before this guard a P99 over such a sample was whatever value happened to
+// land at the rank.
+func TestPercentileNaNPropagates(t *testing.T) {
+	nan := math.NaN()
+	for _, xs := range [][]float64{
+		{nan},
+		{1, 2, nan, 4},
+		{nan, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+	} {
+		for _, p := range []float64{0, 50, 99, 99.9, 100} {
+			if got := Percentile(xs, p); !math.IsNaN(got) {
+				t.Fatalf("Percentile(%v, %v) = %v, want NaN", xs, p, got)
+			}
+		}
+	}
+	if got := Median([]float64{1, nan, 3}); !math.IsNaN(got) {
+		t.Fatalf("Median with NaN = %v, want NaN", got)
+	}
+	// Clean samples are unaffected.
+	if got := Percentile([]float64{1, 2, 3}, 50); got != 2 {
+		t.Fatalf("clean median = %v", got)
+	}
+}
+
+func TestSummarizeNaNPropagates(t *testing.T) {
+	s, err := Summarize([]float64{3, math.NaN(), 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3", s.N)
+	}
+	for name, v := range map[string]float64{
+		"Mean": s.Mean, "Std": s.Std, "Min": s.Min, "Max": s.Max,
+		"P50": s.P50, "P90": s.P90, "P95": s.P95, "P99": s.P99, "P999": s.P999,
+	} {
+		if !math.IsNaN(v) {
+			t.Fatalf("Summary.%s = %v, want NaN", name, v)
+		}
+	}
+}
