@@ -1,6 +1,8 @@
 // Package firm_test hosts the benchmark harness: one testing.B benchmark
 // per table and figure of the paper's evaluation, each regenerating the
-// artifact at quick scale and reporting its headline metric. Run with:
+// artifact at quick scale and reporting its headline metric, plus the
+// internal/perf tick-path microbenchmarks (also runnable as `firmbench
+// -bench`, which records them as a canonical BENCH_*.json). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -11,6 +13,7 @@ import (
 	"testing"
 
 	"firm/internal/experiments"
+	"firm/internal/perf"
 )
 
 const benchSeed = 42
@@ -18,8 +21,11 @@ const benchSeed = 42
 // benchOnce runs fn exactly once per benchmark invocation (each experiment
 // is a complete multi-minute simulated campaign; b.N repetitions of the
 // whole campaign are meaningless, so the loop reuses the first result).
+// Allocation stats are always reported: the campaign-level allocs/op and
+// bytes/op trajectories are what the tick-path optimizations move.
 func benchOnce(b *testing.B, fn func() error) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if i > 0 {
 			break
@@ -166,3 +172,15 @@ func BenchmarkTable6(b *testing.B) {
 		return nil
 	})
 }
+
+// The tick-path microbenchmarks from internal/perf, re-exported here so
+// `go test -bench . -benchmem` covers them alongside the campaign
+// benchmarks. `firmbench -bench` runs the same functions and records them
+// as BENCH_*.json; CI gates on the core-tick allocs/op budget.
+
+func BenchmarkCoreTick(b *testing.B)      { perf.CoreTick(b) }
+func BenchmarkCoreTickNaive(b *testing.B) { perf.CoreTickNaive(b) }
+func BenchmarkStatsWindow(b *testing.B)   { perf.StatsWindow(b) }
+func BenchmarkTracedbSelect(b *testing.B) { perf.TracedbSelect(b) }
+func BenchmarkTelemetryAdd(b *testing.B)  { perf.TelemetryAdd(b) }
+func BenchmarkNNTrainStep(b *testing.B)   { perf.NNTrainStep(b) }

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+
+	"firm/internal/perf"
+	"firm/internal/report"
+)
+
+// withProfiles runs f with optional pprof CPU/heap capture around it: the
+// CPU profile covers f, the heap profile snapshots f's end state (after a
+// GC, so it reflects live retention, not garbage). Profile-file errors are
+// operational failures (exit 1), not flag misuse — flags were validated.
+func withProfiles(cpuPath, memPath string, f func() int) int {
+	if cpuPath != "" {
+		cf, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "firmbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			fmt.Fprintf(os.Stderr, "firmbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}()
+	}
+	code := f()
+	if memPath != "" {
+		mf, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "firmbench: -memprofile: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			mf.Close()
+			fmt.Fprintf(os.Stderr, "firmbench: -memprofile: %v\n", err)
+			return 1
+		}
+		if err := mf.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "firmbench: -memprofile: %v\n", err)
+			return 1
+		}
+	}
+	return code
+}
+
+// runBenchSuite executes the internal/perf microbenchmarks (all, or the
+// named subset), prints a result table, optionally records a canonical
+// BENCH JSON via internal/report, and enforces -bench-allocs thresholds.
+// The JSON's ns/op is machine-dependent by nature; allocs/op, bytes/op,
+// and the cmp/op operation counts are exact — those carry the perf
+// trajectory across PRs and gate CI.
+func runBenchSuite(names []string, jsonOut string, maxAllocs map[string]float64) int {
+	// Thresholds must reference benchmarks this invocation runs, else the
+	// gate silently gates nothing — that is flag misuse.
+	seen := map[string]bool{}
+	for _, n := range names {
+		if len(n) > 0 && n[0] == '-' {
+			// flag.Parse stops at the first positional argument, so a flag
+			// placed after a benchmark name arrives here; exit 2 with the
+			// fix instead of "unknown benchmark".
+			fmt.Fprintf(os.Stderr, "firmbench: %q is a flag, not a benchmark name — flags must precede benchmark names\n", n)
+			return 2
+		}
+		if seen[n] {
+			// A duplicate would run twice and emit duplicate row labels,
+			// which report.Diff treats as a structural mismatch.
+			fmt.Fprintf(os.Stderr, "firmbench: benchmark %q named more than once\n", n)
+			return 2
+		}
+		seen[n] = true
+	}
+	run := map[string]bool{}
+	if len(names) == 0 {
+		for _, bm := range perf.Benchmarks() {
+			run[bm.Name] = true
+		}
+	} else {
+		for _, n := range names {
+			run[n] = true
+		}
+	}
+	for name := range maxAllocs {
+		if !run[name] {
+			fmt.Fprintf(os.Stderr, "firmbench: -bench-allocs %s: benchmark not selected in this run\n", name)
+			return 2
+		}
+	}
+
+	results, err := perf.Run(names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firmbench: %v\n", err)
+		return 2
+	}
+
+	textOut := os.Stdout
+	if jsonOut == "-" {
+		textOut = os.Stderr
+	}
+	tbl := &report.Table{
+		Title:  "firmbench microbenchmarks",
+		Header: []string{"benchmark", "iters", "ns/op", "allocs/op", "B/op", "extras"},
+	}
+	rep := report.New("bench")
+	for _, r := range results {
+		extras := ""
+		keys := make([]string, 0, len(r.Extra))
+		for k := range r.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		row := rep.Row(r.Name).
+			Val("ns-op", "ns", r.NsPerOp).
+			Val("allocs-op", "allocs", r.AllocsPerOp).
+			Val("bytes-op", "B", r.BytesPerOp)
+		for _, k := range keys {
+			if extras != "" {
+				extras += " "
+			}
+			extras += fmt.Sprintf("%s=%g", k, r.Extra[k])
+			row.Val(k, "", r.Extra[k])
+		}
+		tbl.Add(r.Name, strconv.Itoa(r.Iterations),
+			fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%g", r.AllocsPerOp),
+			fmt.Sprintf("%g", r.BytesPerOp),
+			extras)
+	}
+	fmt.Fprint(textOut, tbl.String())
+
+	if jsonOut != "" {
+		campaign := &report.Campaign{Tool: "firmbench", Scale: "bench", Seed: perf.Seed}
+		campaign.Merge(rep, 0)
+		if err := writeCampaign(jsonOut, campaign); err != nil {
+			fmt.Fprintf(os.Stderr, "write -json: %v\n", err)
+			return 1
+		}
+	}
+
+	code := 0
+	for _, r := range results {
+		if limit, ok := maxAllocs[r.Name]; ok && r.AllocsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "firmbench: PERF REGRESSION: %s allocs/op = %g exceeds the committed budget %g\n",
+				r.Name, r.AllocsPerOp, limit)
+			code = 1
+		}
+	}
+	return code
+}

@@ -102,20 +102,37 @@ func (t tolMetricFlag) Set(s string) error {
 // negative -tol making every comparison fail).
 type invocation struct {
 	run, jsonOut, serve, dist string
-	list, diff                bool
+	list, diff, bench         bool
 	tol                       float64
 	tolMetric                 tolMetricFlag
+	benchAllocs               tolMetricFlag
+	cpuprofile, memprofile    string
 	distTimeout               time.Duration
 	args                      []string
+	// explicit records which flags the user actually set, so modes can
+	// reject flags whose defaults are indistinguishable from intent
+	// (e.g. -scale with -bench).
+	explicit map[string]bool
 }
 
 func (inv invocation) validate() error {
 	if inv.tol < 0 || inv.tol != inv.tol {
 		return fmt.Errorf("-tol must be >= 0, got %g", inv.tol)
 	}
+	if (inv.cpuprofile != "" || inv.memprofile != "") && !inv.bench && inv.run == "" {
+		return fmt.Errorf("-cpuprofile/-memprofile need something to profile: add -run <id|all> or -bench")
+	}
+	// -dist-timeout is validated up front: the -diff and -bench branches
+	// return early and must not silently accept it.
+	if inv.distTimeout < 0 {
+		return fmt.Errorf("-dist-timeout must be >= 0, got %v (0 = no timeout)", inv.distTimeout)
+	}
+	if inv.distTimeout != 0 && inv.dist == "" {
+		return fmt.Errorf("-dist-timeout is only meaningful with -dist")
+	}
 	if inv.diff {
-		if inv.run != "" || inv.jsonOut != "" || inv.list || inv.serve != "" || inv.dist != "" {
-			return fmt.Errorf("-diff compares two result files and cannot be combined with -run, -json, -list, -serve, or -dist")
+		if inv.run != "" || inv.jsonOut != "" || inv.list || inv.serve != "" || inv.dist != "" || inv.bench {
+			return fmt.Errorf("-diff compares two result files and cannot be combined with -run, -json, -list, -serve, -dist, or -bench")
 		}
 		if len(inv.args) != 2 {
 			return fmt.Errorf("-diff takes exactly two file arguments, got %d", len(inv.args))
@@ -125,20 +142,29 @@ func (inv invocation) validate() error {
 	if inv.tol != 0 || len(inv.tolMetric) > 0 {
 		return fmt.Errorf("-tol and -tol-metric are only meaningful with -diff")
 	}
+	if inv.bench {
+		if inv.run != "" || inv.list || inv.serve != "" || inv.dist != "" {
+			return fmt.Errorf("-bench runs the microbenchmark suite and cannot be combined with -run, -list, -serve, or -dist")
+		}
+		for _, f := range []string{"scale", "seed", "parallel", "rollout"} {
+			if inv.explicit[f] {
+				return fmt.Errorf("-%s is not meaningful with -bench (benchmarks pin their own scale and seed)", f)
+			}
+		}
+		// Positional args name benchmarks to run; resolved by the registry.
+		return nil
+	}
+	if len(inv.benchAllocs) > 0 {
+		return fmt.Errorf("-bench-allocs is only meaningful with -bench")
+	}
 	if len(inv.args) > 0 {
-		return fmt.Errorf("unexpected arguments %q (file arguments are only valid with -diff)", inv.args)
+		return fmt.Errorf("unexpected arguments %q (file arguments are only valid with -diff, benchmark names with -bench)", inv.args)
 	}
 	if inv.serve != "" {
 		if inv.run != "" || inv.jsonOut != "" || inv.list || inv.dist != "" {
 			return fmt.Errorf("-serve runs a worker and cannot be combined with -run, -json, -list, or -dist")
 		}
 		return nil
-	}
-	if inv.distTimeout < 0 {
-		return fmt.Errorf("-dist-timeout must be >= 0, got %v (0 = no timeout)", inv.distTimeout)
-	}
-	if inv.distTimeout != 0 && inv.dist == "" {
-		return fmt.Errorf("-dist-timeout is only meaningful with -dist")
 	}
 	if inv.dist != "" {
 		if inv.run == "" || inv.list {
@@ -165,6 +191,7 @@ func splitHosts(s string) []string {
 
 func main() {
 	tolMetric := tolMetricFlag{}
+	benchAllocs := tolMetricFlag{}
 	var (
 		run      = flag.String("run", "", "experiment id to run, or 'all'")
 		scale    = flag.String("scale", "quick", "tiny|quick|full")
@@ -179,26 +206,43 @@ func main() {
 		serve    = flag.String("serve", "", "run a distributed-campaign worker on this address (host:port)")
 		distTo   = flag.String("dist", "", "comma-separated worker addresses; run the campaign as their coordinator")
 		distWait = flag.Duration("dist-timeout", 0, "per-job timeout for -dist before a worker counts as failed (0 = none)")
+		bench    = flag.Bool("bench", false, "run the microbenchmark suite (optionally name benchmarks as arguments) and report allocs/op, bytes/op, ns/op")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign or bench run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at campaign or bench end to this file")
 	)
 	flag.Var(tolMetric, "tol-metric", "per-metric tolerance override for -diff, name=x (repeatable; matches row metric names and full series names)")
+	flag.Var(benchAllocs, "bench-allocs", "max allocs/op for a -bench benchmark, name=N (repeatable; exceeding it exits 1 — the CI perf-regression gate)")
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	inv := invocation{
 		run: *run, jsonOut: *jsonOut, serve: *serve, dist: *distTo,
-		list: *list, diff: *diffMode, tol: *tol, tolMetric: tolMetric,
+		list: *list, diff: *diffMode, bench: *bench,
+		tol: *tol, tolMetric: tolMetric, benchAllocs: benchAllocs,
+		cpuprofile: *cpuProf, memprofile: *memProf,
 		distTimeout: *distWait,
 		args:        flag.Args(),
+		explicit:    explicit,
 	}
 	if err := inv.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "firmbench: %v\n", err)
-		fmt.Fprintln(os.Stderr, "usage: firmbench -run <id|all> [-scale tiny|quick|full] [-seed N] [-json path] |")
+		fmt.Fprintln(os.Stderr, "usage: firmbench -run <id|all> [-scale tiny|quick|full] [-seed N] [-json path] [-cpuprofile f] [-memprofile f] |")
 		fmt.Fprintln(os.Stderr, "       firmbench -diff [-tol x] [-tol-metric name=x] a.json b.json |")
+		fmt.Fprintln(os.Stderr, "       firmbench -bench [bench ...] [-json path] [-bench-allocs name=N] |")
 		fmt.Fprintln(os.Stderr, "       firmbench -serve host:port | firmbench -dist host1,host2 -run <id|all>")
 		os.Exit(2)
 	}
 
 	if *diffMode {
 		os.Exit(diffCampaigns(flag.Args(), report.Tolerances{Default: *tol, Metric: tolMetric}))
+	}
+
+	if *bench {
+		os.Exit(withProfiles(*cpuProf, *memProf, func() int {
+			return runBenchSuite(flag.Args(), *jsonOut, benchAllocs)
+		}))
 	}
 
 	runner.SetWorkers(*parallel)
@@ -249,41 +293,53 @@ func main() {
 	}
 
 	if *distTo != "" {
-		os.Exit(runDistributed(splitHosts(*distTo), selected, sc, *seed, *jsonOut, *distWait, *quiet))
+		os.Exit(withProfiles(*cpuProf, *memProf, func() int {
+			return runDistributed(splitHosts(*distTo), selected, sc, *seed, *jsonOut, *distWait, *quiet)
+		}))
 	}
 
+	os.Exit(withProfiles(*cpuProf, *memProf, func() int {
+		return runCampaign(selected, sc, *seed, *jsonOut)
+	}))
+}
+
+// runCampaign executes the selected experiments locally and returns the
+// process exit code. (A function so -cpuprofile/-memprofile can wrap it:
+// profile writers must flush before exit.)
+func runCampaign(selected []string, sc experiments.Scale, seed int64, jsonOut string) int {
 	// With -json to stdout the text reports move to stderr so the JSON
 	// document stays parseable.
 	textOut := io.Writer(os.Stdout)
-	if *jsonOut == "-" {
+	if jsonOut == "-" {
 		textOut = os.Stderr
 	}
 
-	campaign := &report.Campaign{Tool: "firmbench", Scale: sc.Name, Seed: *seed}
+	campaign := &report.Campaign{Tool: "firmbench", Scale: sc.Name, Seed: seed}
 	for _, id := range selected {
 		start := time.Now()
 		fn, _ := experiments.Get(id)
-		res, err := fn(sc, *seed)
+		res, err := fn(sc, seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		var rep *report.Report
-		if *jsonOut != "" {
+		if jsonOut != "" {
 			rep = res.Report()
 		}
-		emitReport(textOut, campaign, id, sc.Name, *seed, res.String(), rep, 0)
+		emitReport(textOut, campaign, id, sc.Name, seed, res.String(), rep, 0)
 		// Wall-clock goes to stderr with the progress feed: stdout carries
 		// only the experiment artifact, byte-identical at any -parallel.
 		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", id, time.Since(start).Seconds())
 	}
 
-	if *jsonOut != "" {
-		if err := writeCampaign(*jsonOut, campaign); err != nil {
+	if jsonOut != "" {
+		if err := writeCampaign(jsonOut, campaign); err != nil {
 			fmt.Fprintf(os.Stderr, "write -json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // emitReport renders one experiment artifact and, when rep is non-nil,

@@ -31,6 +31,22 @@ func TestValidateRejectsContradictoryInvocations(t *testing.T) {
 		{"dist-empty-host", invocation{dist: "h1:1,,h2:1", run: "all"}},
 		{"negative-dist-timeout", invocation{dist: "h1:1", run: "all", distTimeout: -time.Second}},
 		{"dist-timeout-without-dist", invocation{run: "fig3", distTimeout: time.Minute}},
+		{"bench-with-run", invocation{bench: true, run: "fig3"}},
+		{"bench-with-list", invocation{bench: true, list: true}},
+		{"bench-with-serve", invocation{bench: true, serve: ":8701"}},
+		{"bench-with-dist", invocation{bench: true, dist: "h:1"}},
+		{"bench-with-diff", invocation{bench: true, diff: true, args: []string{"a", "b"}}},
+		{"bench-with-explicit-scale", invocation{bench: true, explicit: map[string]bool{"scale": true}}},
+		{"bench-with-explicit-seed", invocation{bench: true, explicit: map[string]bool{"seed": true}}},
+		{"bench-with-explicit-parallel", invocation{bench: true, explicit: map[string]bool{"parallel": true}}},
+		{"bench-allocs-without-bench", invocation{run: "fig3", benchAllocs: tolMetricFlag{"core-tick": 2}}},
+		{"bench-with-dist-timeout", invocation{bench: true, distTimeout: time.Minute}},
+		{"bench-with-negative-dist-timeout", invocation{bench: true, distTimeout: -time.Second}},
+		{"diff-with-dist-timeout", invocation{diff: true, distTimeout: time.Minute, args: []string{"a", "b"}}},
+		{"cpuprofile-without-target", invocation{cpuprofile: "cpu.pprof"}},
+		{"memprofile-without-target", invocation{memprofile: "mem.pprof"}},
+		{"cpuprofile-with-serve", invocation{serve: ":8701", cpuprofile: "cpu.pprof"}},
+		{"cpuprofile-with-diff", invocation{diff: true, cpuprofile: "cpu.pprof", args: []string{"a", "b"}}},
 	}
 	for _, tc := range bad {
 		if err := tc.inv.validate(); err == nil {
@@ -46,6 +62,12 @@ func TestValidateRejectsContradictoryInvocations(t *testing.T) {
 		{"diff", invocation{diff: true, tol: 0.05, tolMetric: tolMetricFlag{"p99": 0.1}, args: []string{"a", "b"}}},
 		{"serve", invocation{serve: ":8701"}},
 		{"dist", invocation{dist: "h1:1, h2:1", run: "all", jsonOut: "o.json", distTimeout: time.Minute}},
+		{"bench", invocation{bench: true}},
+		{"bench-with-names-json-thresholds", invocation{bench: true, jsonOut: "BENCH.json",
+			benchAllocs: tolMetricFlag{"core-tick": 2}, args: []string{"core-tick"}}},
+		{"bench-with-profiles", invocation{bench: true, cpuprofile: "cpu.pprof", memprofile: "mem.pprof"}},
+		{"run-with-profiles", invocation{run: "fig3", cpuprofile: "cpu.pprof", memprofile: "mem.pprof"}},
+		{"dist-with-profiles", invocation{dist: "h1:1", run: "all", cpuprofile: "cpu.pprof"}},
 	}
 	for _, tc := range good {
 		if err := tc.inv.validate(); err != nil {
@@ -75,5 +97,22 @@ func TestSplitHostsTrims(t *testing.T) {
 	got := splitHosts(" h1:8701 , h2:8701,")
 	if len(got) != 3 || got[0] != "h1:8701" || got[1] != "h2:8701" || got[2] != "" {
 		t.Fatalf("splitHosts = %q", got)
+	}
+}
+
+func TestRunBenchSuiteFlagMisuse(t *testing.T) {
+	// A threshold naming a benchmark this invocation does not run would
+	// gate nothing; that is misuse (exit 2), caught before any benchmark
+	// executes.
+	if code := runBenchSuite([]string{"stats-window"}, "", map[string]float64{"core-tick": 2}); code != 2 {
+		t.Fatalf("threshold for unselected benchmark: exit %d, want 2", code)
+	}
+	if code := runBenchSuite([]string{"no-such-bench"}, "", nil); code != 2 {
+		t.Fatalf("unknown benchmark name: exit %d, want 2", code)
+	}
+	// Duplicates would run twice and emit duplicate row labels, which the
+	// report diff semantics treat as a structural mismatch.
+	if code := runBenchSuite([]string{"stats-window", "stats-window"}, "", nil); code != 2 {
+		t.Fatalf("duplicate benchmark name: exit %d, want 2", code)
 	}
 }

@@ -48,6 +48,11 @@ type Cluster struct {
 	nodes  []*Node
 	sets   map[string]*ReplicaSet
 	nextID int
+
+	// setsSorted caches the sorted ReplicaSets view; services are only
+	// ever added (DeployService rejects duplicates, nothing deletes), so a
+	// length check detects staleness.
+	setsSorted []*ReplicaSet
 }
 
 // New creates a cluster driven by eng.
@@ -80,14 +85,21 @@ func (cl *Cluster) Nodes() []*Node { return cl.nodes }
 // ReplicaSet returns the replica set for a service name, or nil.
 func (cl *Cluster) ReplicaSet(service string) *ReplicaSet { return cl.sets[service] }
 
-// ReplicaSets returns all replica sets sorted by service name.
+// ReplicaSets returns all replica sets sorted by service name. The slice
+// is cached — the control loop iterates it every tick and set membership
+// only changes on DeployService — so callers must treat it as read-only.
 func (cl *Cluster) ReplicaSets() []*ReplicaSet {
-	out := make([]*ReplicaSet, 0, len(cl.sets))
-	for _, rs := range cl.sets {
-		out = append(out, rs)
+	if len(cl.setsSorted) != len(cl.sets) {
+		// Rebuild into a fresh slice: reusing the backing array would
+		// rewrite slices handed out before the rebuild.
+		sorted := make([]*ReplicaSet, 0, len(cl.sets))
+		for _, rs := range cl.sets {
+			sorted = append(sorted, rs)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Service < sorted[j].Service })
+		cl.setsSorted = sorted
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
-	return out
+	return cl.setsSorted
 }
 
 // FindContainer locates a container by instance ID across all replica sets.

@@ -382,6 +382,15 @@ type Controller struct {
 	ticker  *sim.Ticker
 	pending []pendingAction
 
+	// mon mirrors the trace store's current window incrementally (fed by
+	// tracedb's observer stream), so the per-tick violation check and P99
+	// measurement are O(log W) and allocation-free instead of re-selecting
+	// and re-sorting the window. winBuf is the reusable selection buffer
+	// for the violated path, which still needs the trace list for
+	// localization.
+	mon    *detect.Monitor
+	winBuf []*trace.Trace
+
 	violationSince sim.Time
 	inViolation    bool
 	// stickyCulprits remembers the instances localized at violation onset:
@@ -418,8 +427,12 @@ func New(cfg Config, a *app.App, db *tracedb.Store, col *telemetry.Collector,
 	c := &Controller{
 		cfg: cfg, eng: a.Engine(), app: a, db: db, col: col, meter: meter,
 		dep: dep, ext: ext, prov: prov,
-		sb: &agent.StateBuilder{Col: col, Meter: meter, SLO: a.SLO},
+		sb:  &agent.StateBuilder{Col: col, Meter: meter, SLO: a.SLO},
+		mon: detect.NewMonitor(256),
 	}
+	// Observe replays traces already stored, so attaching a controller
+	// mid-workload sees the same window a fresh Select would.
+	db.Observe(c.mon)
 	c.ticker = sim.NewTicker(c.eng, cfg.Interval, c.tick)
 	return c
 }
@@ -432,6 +445,10 @@ func (c *Controller) Stop() { c.ticker.Stop() }
 
 // Extractor returns the detection model (for online SVM training).
 func (c *Controller) Extractor() *detect.Extractor { return c.ext }
+
+// Monitor returns the controller's incremental tail-latency window
+// (read-only: perf accounting and tests).
+func (c *Controller) Monitor() *detect.Monitor { return c.mon }
 
 // ResetEpisode clears per-episode accumulators and flushes pending
 // transitions as terminal (used between RL training episodes).
@@ -446,32 +463,27 @@ func (c *Controller) ResetEpisode() {
 	}
 }
 
-// windowP99 selects the current window and returns its effective P99; used
-// where no window is already at hand (episode resets between ticks).
+// windowP99 advances the incremental window to the current time and
+// returns its effective P99; used where no tick is in progress (episode
+// resets between ticks).
 func (c *Controller) windowP99() sim.Time {
-	return c.p99Of(c.db.Select(tracedb.Query{Since: c.eng.Now() - c.cfg.Window, IncludeDrop: true}))
+	c.mon.Advance(c.eng.Now() - c.cfg.Window)
+	return c.monitorP99()
 }
 
-// p99Of returns the window's effective P99 end-to-end latency.
+// monitorP99 returns the already-advanced window's effective P99
+// end-to-end latency, bit-identical to the batch computation over a fresh
+// window selection (stats.Window reproduces stats.Percentile exactly).
 // Dropped requests are infinitely slow requests: any drop in the window
 // pushes the effective P99 to at least 10× the SLO so the SV signal cannot
 // be gamed by shedding load (starving a container until every request drops
 // would otherwise read as "no latency, no violation").
-func (c *Controller) p99Of(traces []*trace.Trace) sim.Time {
-	var lats []float64
-	drops := 0
-	for _, t := range traces {
-		if t.Dropped {
-			drops++
-		} else {
-			lats = append(lats, t.Latency().Millis())
-		}
-	}
+func (c *Controller) monitorP99() sim.Time {
 	var p99 sim.Time
-	if len(lats) > 0 {
-		p99 = sim.FromMillis(stats.Percentile(lats, 99))
+	if c.mon.Completed() > 0 {
+		p99 = sim.FromMillis(c.mon.P99())
 	}
-	if drops > 0 {
+	if c.mon.Drops() > 0 {
 		if floor := 10 * c.app.SLO; p99 < floor {
 			p99 = floor
 		}
@@ -518,15 +530,24 @@ func (c *Controller) flushPendingAt(done bool, p99 sim.Time) {
 	c.pending = c.pending[:0]
 }
 
+// TickNow runs one control-loop tick at the current simulated time,
+// outside the ticker schedule. It exists for the tick-path microbenchmarks
+// and profiling (internal/perf); simulations drive ticks through Start.
+func (c *Controller) TickNow() { c.tick() }
+
 func (c *Controller) tick() {
 	c.Ticks++
 	now := c.eng.Now()
-	window := c.db.Select(tracedb.Query{Since: now - c.cfg.Window, IncludeDrop: true})
-	violated := detect.Violated(window, c.app.SLO)
+	// The incremental window answers the per-tick questions — violated?
+	// effective P99? — without selecting or sorting anything: traces were
+	// added as they completed, and expire here. Bit-identical to the batch
+	// path (detect.Violated + stats.Percentile over a fresh Select).
+	c.mon.Advance(now - c.cfg.Window)
+	violated := c.mon.Violated(c.app.SLO)
 	// One P99 measurement per tick: reward bookkeeping, pending-transition
 	// flush, and the actuation loop below all reuse it (the window cannot
 	// change mid-tick — no events run inside a tick).
-	p99 := c.p99Of(window)
+	p99 := c.monitorP99()
 
 	// Episode-reward bookkeeping: a per-tick global objective signal
 	// (SLO compliance + cluster utilization), accumulated every tick so
@@ -568,6 +589,10 @@ func (c *Controller) tick() {
 	}
 
 	// Localize culprits (Alg. 2) and actuate RL decisions on the top-K.
+	// Localization needs the trace list itself; the selection reuses one
+	// buffer across ticks and only runs on violated ticks.
+	c.winBuf = c.db.SelectAppend(c.winBuf[:0], tracedb.Query{Since: now - c.cfg.Window, IncludeDrop: true})
+	window := c.winBuf
 	cands := c.ext.Candidates(window)
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
 	anyCritical := false

@@ -1,0 +1,120 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"firm/internal/sim"
+	"firm/internal/stats"
+	"firm/internal/trace"
+	"firm/internal/tracedb"
+)
+
+// TestMonitorMatchesBatchWindow feeds a randomized trace stream through a
+// small tracedb ring (so ring evictions fire, not just time expiry) and
+// checks at every step that the Monitor's violated/P99 answers are
+// bit-identical to the batch path over a fresh Select — the invariant the
+// controller's byte-identical-output guarantee rests on.
+func TestMonitorMatchesBatchWindow(t *testing.T) {
+	const (
+		ringCap = 64 // small: forces evictions long before time expiry
+		window  = 2 * sim.Second
+		slo     = 40 * sim.Millisecond
+	)
+	r := rand.New(rand.NewSource(11))
+	db := tracedb.New(ringCap)
+	m := NewMonitor(4)
+	db.Observe(m)
+
+	now := sim.Time(0)
+	for i := 0; i < 2000; i++ {
+		now += sim.Time(r.Intn(30)) * sim.Millisecond
+		lat := sim.Time(1+r.Intn(80)) * sim.Millisecond
+		tr := &trace.Trace{
+			ID:      trace.TraceID(i + 1),
+			Type:    "t",
+			Start:   now - lat,
+			End:     now,
+			Dropped: r.Intn(12) == 0,
+		}
+		db.Consume(tr)
+
+		since := now - window
+		m.Advance(since)
+		batch := db.Select(tracedb.Query{Since: since, IncludeDrop: true})
+		if got, want := m.Violated(slo), Violated(batch, slo); got != want {
+			t.Fatalf("step %d: Violated=%v, batch %v", i, got, want)
+		}
+		var lats []float64
+		drops := 0
+		for _, bt := range batch {
+			if bt.Dropped {
+				drops++
+			} else {
+				lats = append(lats, bt.Latency().Millis())
+			}
+		}
+		if m.Len() != len(batch) || m.Drops() != drops || m.Completed() != len(lats) {
+			t.Fatalf("step %d: Len/Drops/Completed = %d/%d/%d, batch %d/%d/%d",
+				i, m.Len(), m.Drops(), m.Completed(), len(batch), drops, len(lats))
+		}
+		got, want := m.P99(), stats.Percentile(lats, 99)
+		if math.Float64bits(got) != math.Float64bits(want) && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("step %d: P99=%v, batch %v", i, got, want)
+		}
+	}
+	if m.Len() == 0 {
+		t.Fatal("stream never populated the window")
+	}
+}
+
+// TestMonitorObserveReplaysExistingTraces: registering after the workload
+// started must see the same window as a fresh Select (controllers can
+// attach mid-run).
+func TestMonitorObserveReplaysExistingTraces(t *testing.T) {
+	db := tracedb.New(8)
+	for i := 1; i <= 12; i++ { // wraps the ring: only the last 8 remain
+		db.Consume(&trace.Trace{
+			ID:    trace.TraceID(i),
+			Start: sim.Time(i) * sim.Second,
+			End:   sim.Time(i)*sim.Second + 10*sim.Millisecond,
+		})
+	}
+	m := NewMonitor(4)
+	db.Observe(m)
+	if m.Len() != 8 {
+		t.Fatalf("replayed Len = %d, want 8", m.Len())
+	}
+	m.Advance(7 * sim.Second) // expire traces 5 and 6
+	if m.Len() != 6 {
+		t.Fatalf("after Advance Len = %d, want 6", m.Len())
+	}
+}
+
+// TestMonitorSteadyStateAllocFree: the per-tick sequence — advance, check,
+// measure — must not allocate once the ring and node pool reach their
+// working-set size.
+func TestMonitorSteadyStateAllocFree(t *testing.T) {
+	db := tracedb.New(256)
+	m := NewMonitor(4)
+	db.Observe(m)
+	traces := make([]trace.Trace, 512)
+	for i := range traces {
+		traces[i] = trace.Trace{
+			ID:    trace.TraceID(i + 1),
+			Start: sim.Time(i) * sim.Millisecond,
+			End:   sim.Time(i)*sim.Millisecond + sim.Time(5+i%17)*sim.Millisecond,
+		}
+		db.Consume(&traces[i])
+	}
+	now := traces[len(traces)-1].End
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Advance(now - sim.Second)
+		m.Violated(40 * sim.Millisecond)
+		m.P99()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", allocs)
+	}
+}

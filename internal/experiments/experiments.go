@@ -14,13 +14,13 @@ import (
 
 	"firm/internal/app"
 	"firm/internal/core"
+	"firm/internal/detect"
 	"firm/internal/harness"
 	"firm/internal/injector"
 	"firm/internal/report"
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/topology"
-	"firm/internal/tracedb"
 	"firm/internal/workload"
 )
 
@@ -163,9 +163,14 @@ func (r RunStats) P99() float64 { return stats.Percentile(r.Latencies, 99) }
 
 // violationMonitor replicates the FIRM controller's mitigation-time
 // bookkeeping for policy runs that have no FIRM controller attached, so
-// baselines are measured identically.
+// baselines are measured identically. Like the controller, it keeps the
+// tail-latency window incrementally (detect.Monitor fed by the trace
+// store's observer stream) instead of re-selecting and re-sorting every
+// tick; note this monitor deliberately ignores drops (its P99 is over
+// completed requests only), matching the batch computation it replaced.
 type violationMonitor struct {
 	b           *harness.Bench
+	mon         *detect.Monitor
 	window      sim.Time
 	inViolation bool
 	since       sim.Time
@@ -173,7 +178,8 @@ type violationMonitor struct {
 }
 
 func attachViolationMonitor(b *harness.Bench) *violationMonitor {
-	m := &violationMonitor{b: b, window: 2 * sim.Second}
+	m := &violationMonitor{b: b, mon: detect.NewMonitor(256), window: 2 * sim.Second}
+	b.DB.Observe(m.mon)
 	t := sim.NewTicker(b.Eng, sim.Second, m.tick)
 	t.Start()
 	return m
@@ -181,11 +187,8 @@ func attachViolationMonitor(b *harness.Bench) *violationMonitor {
 
 func (m *violationMonitor) tick() {
 	now := m.b.Eng.Now()
-	lats := m.b.DB.Latencies(tracedb.Query{Since: now - m.window})
-	violated := false
-	if len(lats) > 0 && stats.Percentile(lats, 99) > m.b.App.SLO.Millis() {
-		violated = true
-	}
+	m.mon.Advance(now - m.window)
+	violated := m.mon.Completed() > 0 && m.mon.P99() > m.b.App.SLO.Millis()
 	switch {
 	case violated && !m.inViolation:
 		m.inViolation = true

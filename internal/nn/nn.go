@@ -74,9 +74,11 @@ type layer struct {
 	GW []float64
 	GB []float64
 
-	// Forward caches (per most recent Forward call).
-	x []float64 // input
-	y []float64 // post-activation output
+	// Forward caches (per most recent Forward call) and backward scratch,
+	// reused across steps so training loops allocate nothing per call.
+	x  []float64 // input
+	y  []float64 // post-activation output
+	gx []float64 // dL/dx workspace returned by backward
 }
 
 func newLayer(r *rand.Rand, in, out int, act Activation) *layer {
@@ -116,8 +118,15 @@ func (l *layer) forward(x []float64) []float64 {
 }
 
 // backward consumes dL/dy and returns dL/dx, accumulating parameter grads.
+// The returned slice is the layer's reused workspace.
 func (l *layer) backward(gy []float64) []float64 {
-	gx := make([]float64, l.In)
+	if cap(l.gx) < l.In {
+		l.gx = make([]float64, l.In)
+	}
+	gx := l.gx[:l.In]
+	for i := range gx {
+		gx[i] = 0
+	}
 	for o := 0; o < l.Out; o++ {
 		gz := gy[o] * l.Act.deriv(l.y[o])
 		l.GB[o] += gz
@@ -173,12 +182,14 @@ func (n *Net) Forward(x []float64) []float64 {
 }
 
 // Backward propagates dL/dOutput through the net, accumulating parameter
-// gradients, and returns dL/dInput. Must follow a Forward call.
+// gradients, and returns dL/dInput. Must follow a Forward call. gradOut is
+// only read; the returned slice is workspace reused across calls — copy if
+// retained.
 func (n *Net) Backward(gradOut []float64) []float64 {
 	if len(gradOut) != n.OutputDim() {
 		panic("nn: gradient size mismatch")
 	}
-	g := append([]float64(nil), gradOut...)
+	g := gradOut
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		g = n.layers[i].backward(g)
 	}

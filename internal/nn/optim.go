@@ -15,13 +15,16 @@ type SGD struct {
 	lr       float64
 	momentum float64
 	vel      [][]float64
+	// params/grads are cached Params views: layer storage is never
+	// reallocated, so capturing them once keeps Step allocation-free.
+	params, grads [][]float64
 }
 
 // NewSGD creates an SGD optimizer for net.
 func NewSGD(net *Net, lr, momentum float64) *SGD {
 	s := &SGD{net: net, lr: lr, momentum: momentum}
-	params, _ := net.Params()
-	for _, p := range params {
+	s.params, s.grads = net.Params()
+	for _, p := range s.params {
 		s.vel = append(s.vel, make([]float64, len(p)))
 	}
 	return s
@@ -29,7 +32,7 @@ func NewSGD(net *Net, lr, momentum float64) *SGD {
 
 // Step implements Optimizer.
 func (s *SGD) Step() {
-	params, grads := s.net.Params()
+	params, grads := s.params, s.grads
 	for i, p := range params {
 		g := grads[i]
 		v := s.vel[i]
@@ -51,13 +54,15 @@ type Adam struct {
 	t        int
 	m, v     [][]float64
 	gradClip float64 // max L2 norm of the full gradient (0 = off)
+	// params/grads are cached Params views (see SGD).
+	params, grads [][]float64
 }
 
 // NewAdam creates an Adam optimizer with standard betas.
 func NewAdam(net *Net, lr float64) *Adam {
 	a := &Adam{net: net, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
-	params, _ := net.Params()
-	for _, p := range params {
+	a.params, a.grads = net.Params()
+	for _, p := range a.params {
 		a.m = append(a.m, make([]float64, len(p)))
 		a.v = append(a.v, make([]float64, len(p)))
 	}
@@ -70,7 +75,7 @@ func (a *Adam) SetGradClip(maxNorm float64) { a.gradClip = maxNorm }
 
 // Step implements Optimizer.
 func (a *Adam) Step() {
-	params, grads := a.net.Params()
+	params, grads := a.params, a.grads
 	scale := 1.0
 	if a.gradClip > 0 {
 		var norm2 float64

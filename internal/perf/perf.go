@@ -1,0 +1,286 @@
+// Package perf is firmbench's microbenchmark registry: deterministic
+// benchmarks of the hot paths the campaign loop multiplies — the
+// controller tick, the sliding tail-latency window, trace-window
+// selection, telemetry sampling, and the DDPG train step. `firmbench
+// -bench` runs them and records the results as a canonical BENCH_*.json
+// (internal/report floats), which is how the repo's perf trajectory is
+// tracked across PRs; `go test -bench` exposes the same functions as
+// ordinary benchmarks (bench_test.go).
+//
+// Wall-clock (ns/op) varies by machine, but allocs/op, bytes/op, and the
+// comparison counts are exact and deterministic — those are the regression
+// metrics CI enforces (see the bench job's -bench-allocs thresholds).
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"firm/internal/core"
+	"firm/internal/detect"
+	"firm/internal/harness"
+	"firm/internal/rl"
+	"firm/internal/sim"
+	"firm/internal/stats"
+	"firm/internal/topology"
+	"firm/internal/trace"
+	"firm/internal/tracedb"
+	"firm/internal/workload"
+)
+
+// Seed fixes every microbenchmark's simulated setup.
+const Seed = 42
+
+// Benchmark is one registered microbenchmark.
+type Benchmark struct {
+	Name string
+	Desc string
+	Fn   func(b *testing.B)
+}
+
+// Benchmarks returns the registry in its canonical (report) order.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{"core-tick", "controller tick, incremental window (steady non-violated state)", CoreTick},
+		{"core-tick-naive", "the replaced per-tick work: re-select window, batch-sort P99", CoreTickNaive},
+		{"stats-window", "stats.Window insert+evict+P99 at W=1024", StatsWindow},
+		{"tracedb-select", "tracedb.SelectAppend of a 2s window from a 200k-capacity ring", TracedbSelect},
+		{"telemetry-add", "telemetry ring add at full retention", TelemetryAdd},
+		{"nn-train-step", "one DDPG TrainStep (batch 64, Table 4 nets)", NNTrainStep},
+	}
+}
+
+// Find returns the named benchmark.
+func Find(name string) (Benchmark, error) {
+	for _, bm := range Benchmarks() {
+		if bm.Name == name {
+			return bm, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("perf: unknown benchmark %q", name)
+}
+
+// Result is one benchmark outcome in report-friendly form.
+type Result struct {
+	Name        string
+	Iterations  int
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+	Extra       map[string]float64
+}
+
+// Run executes the named benchmarks (all of them when names is empty) via
+// testing.Benchmark and returns results in registry order.
+func Run(names []string) ([]Result, error) {
+	var selected []Benchmark
+	if len(names) == 0 {
+		selected = Benchmarks()
+	} else {
+		for _, n := range names {
+			bm, err := Find(n)
+			if err != nil {
+				return nil, err
+			}
+			selected = append(selected, bm)
+		}
+	}
+	out := make([]Result, 0, len(selected))
+	for _, bm := range selected {
+		r := testing.Benchmark(bm.Fn)
+		res := Result{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// tickBed is the shared testbed for the tick benchmarks: the paper's
+// hotel-reservation app under steady load, traces and telemetry populated,
+// a FIRM controller wired but not started (the benchmark drives ticks
+// itself, at a frozen clock, so every iteration measures the same
+// steady-state window).
+type tickBed struct {
+	tb  *harness.Bench
+	ctl *core.Controller
+}
+
+// newTickBed panics (with context) on setup failure rather than calling
+// b.Fatal: firmbench -bench drives these functions through a bare
+// testing.Benchmark, where b.Fatal crashes inside the testing package with
+// an unreadable nil-pointer panic. A descriptive panic is the only clean
+// failure channel outside the test framework.
+func newTickBed() tickBed {
+	tb, err := harness.New(harness.Options{
+		Seed:         Seed,
+		Spec:         topology.HotelReservation(),
+		SLOMargin:    1.6,
+		CalibrationN: 6,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("perf: tick testbed setup failed: %v", err))
+	}
+	tb.AttachWorkload(workload.Constant{RPS: 120})
+	cfg := core.DefaultConfig()
+	cfg.IdleReclaim = 0 // measure the detection path, not limit decay
+	ctl := core.New(cfg, tb.App, tb.DB, tb.Col, tb.Meter, tb.Deploy,
+		harness.NewExtractor(Seed), harness.SharedAgent(Seed))
+	tb.Eng.RunFor(5 * sim.Second) // populate the ring and the window mirror
+	return tickBed{tb: tb, ctl: ctl}
+}
+
+// CoreTick measures the per-tick control-loop cost on the incremental
+// window: violation check, effective P99, reward bookkeeping. The extra
+// cmp/op metric is the exact number of key comparisons per tick inside the
+// order-statistics window; window is its size.
+func CoreTick(b *testing.B) {
+	bed := newTickBed()
+	bed.ctl.TickNow() // reach steady state (first tick advances the window)
+	mon := bed.ctl.Monitor()
+	cmp0 := mon.Comparisons()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bed.ctl.TickNow()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mon.Comparisons()-cmp0)/float64(b.N), "cmp/op")
+	b.ReportMetric(float64(mon.Len()), "window")
+}
+
+// CoreTickNaive measures exactly the per-tick work the incremental window
+// replaced: re-select the trace window from the store, batch-check the SLO,
+// and copy+sort the latencies for the P99 — the pre-optimization tick path,
+// kept as the committed reference point for BENCH_*.json's allocs/op ratio.
+func CoreTickNaive(b *testing.B) {
+	bed := newTickBed()
+	eng, db, slo := bed.tb.Eng, bed.tb.DB, bed.tb.App.SLO
+	window := core.DefaultConfig().Window
+	b.ReportAllocs()
+	b.ResetTimer()
+	var p99 float64
+	var n int
+	for i := 0; i < b.N; i++ {
+		traces := db.Select(tracedb.Query{Since: eng.Now() - window, IncludeDrop: true})
+		detect.Violated(traces, slo)
+		var lats []float64
+		for _, t := range traces {
+			if !t.Dropped {
+				lats = append(lats, t.Latency().Millis())
+			}
+		}
+		p99 = stats.Percentile(lats, 99)
+		n = len(traces)
+	}
+	b.StopTimer()
+	_ = p99
+	b.ReportMetric(float64(n), "window")
+}
+
+// StatsWindow measures one evict+insert+P99 cycle on a 1024-observation
+// window — the steady-state cost a completing trace adds to the tick path.
+func StatsWindow(b *testing.B) {
+	w := stats.NewWindow(1024)
+	r := sim.Stream(Seed, "perf-stats-window")
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+		w.Add(xs[i])
+	}
+	cmp0 := w.Comparisons()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := xs[i%len(xs)]
+		w.Remove(x)
+		w.Add(x)
+		w.Percentile(99)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(w.Comparisons()-cmp0)/float64(b.N), "cmp/op")
+}
+
+// TracedbSelect measures selecting a 2-second suffix window out of a full
+// 200k-trace ring into a reused buffer — the violated-tick path.
+func TracedbSelect(b *testing.B) {
+	const cap = 200000
+	db := tracedb.New(cap)
+	traces := make([]trace.Trace, cap)
+	for i := range traces {
+		end := sim.Time(i) * sim.Millisecond
+		traces[i] = trace.Trace{ID: trace.TraceID(i + 1), Start: end - 10*sim.Millisecond, End: end}
+		db.Consume(&traces[i])
+	}
+	since := traces[cap-1].End - 2*sim.Second
+	var buf []*trace.Trace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = db.SelectAppend(buf[:0], tracedb.Query{Since: since, IncludeDrop: true})
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(buf)), "selected")
+}
+
+// TelemetryAdd measures one full sampling pass (every container and node)
+// with all retention rings at capacity — the steady state every collector
+// interval pays. In-place ring overwrites make this allocation-free; the
+// replaced slice-reslicing implementation allocated on every growth and
+// pinned evicted prefixes.
+func TelemetryAdd(b *testing.B) {
+	bed := newTickBed()
+	col := bed.tb.Col
+	// The harness retains 2000 samples per series; fill every ring so each
+	// measured pass overwrites in place.
+	for i := 0; i < 2001; i++ {
+		col.SampleNow()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.SampleNow()
+	}
+}
+
+// NNTrainStep measures one DDPG update: minibatch sample, critic
+// regression, actor ascent, soft target updates (Table 4 network shapes).
+func NNTrainStep(b *testing.B) {
+	cfg := rl.DefaultConfig()
+	cfg.Seed = Seed
+	cfg.ActorDelay = 0
+	ag := rl.New(cfg)
+	r := sim.Stream(Seed, "perf-nn")
+	mkvec := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.Float64()
+		}
+		return v
+	}
+	for i := 0; i < 4*cfg.BatchSize; i++ {
+		ag.Observe(rl.Transition{
+			S: mkvec(cfg.StateDim), A: mkvec(cfg.ActionDim),
+			R: r.Float64(), S2: mkvec(cfg.StateDim), Done: i%64 == 63,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ag.TrainStep(); !ok {
+			// Impossible by construction (4×BatchSize observations above);
+			// panic rather than b.Fatal — see newTickBed.
+			panic("perf: TrainStep skipped: buffer underfilled")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package perf
+
+import (
+	"testing"
+)
+
+// TestRegistry: names are unique, Find round-trips, unknown names error.
+func TestRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, bm := range Benchmarks() {
+		if bm.Name == "" || bm.Desc == "" || bm.Fn == nil {
+			t.Fatalf("incomplete registration %+v", bm)
+		}
+		if seen[bm.Name] {
+			t.Fatalf("duplicate benchmark name %q", bm.Name)
+		}
+		seen[bm.Name] = true
+		if got, err := Find(bm.Name); err != nil || got.Name != bm.Name {
+			t.Fatalf("Find(%q) = %v, %v", bm.Name, got.Name, err)
+		}
+	}
+	if _, err := Find("no-such-bench"); err == nil {
+		t.Fatal("Find of unknown benchmark must error")
+	}
+	if _, err := Run([]string{"no-such-bench"}); err == nil {
+		t.Fatal("Run of unknown benchmark must error")
+	}
+}
+
+// TestCoreTickAllocFree is the headline invariant behind BENCH_*.json: the
+// steady-state controller tick performs zero heap allocations.
+func TestCoreTickAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed setup is seconds-long")
+	}
+	bed := newTickBed()
+	bed.ctl.TickNow()
+	if n := bed.ctl.Monitor().Len(); n < 50 {
+		t.Fatalf("benchmark window holds %d traces; the measurement would be vacuous", n)
+	}
+	allocs := testing.AllocsPerRun(50, func() { bed.ctl.TickNow() })
+	if allocs != 0 {
+		t.Fatalf("steady-state tick allocs/op = %v, want 0", allocs)
+	}
+}

@@ -75,15 +75,24 @@ func (b *ReplayBuffer) At(i int) Transition {
 // buffer yields nil — never a panic — so callers batching freshly collected
 // transitions can call it unconditionally.
 func (b *ReplayBuffer) Sample(r *rand.Rand, n int) []Transition {
-	ln := b.Len()
-	if ln == 0 || n <= 0 {
+	if b.Len() == 0 || n <= 0 {
 		return nil
 	}
-	out := make([]Transition, n)
-	for i := 0; i < n; i++ {
-		out[i] = b.buf[r.Intn(ln)]
+	return b.SampleInto(r, n, make([]Transition, 0, n))
+}
+
+// SampleInto is Sample appending into dst, so a per-step training loop can
+// reuse one minibatch buffer across its entire run (TrainStep does). The
+// random stream is consumed exactly as Sample consumes it.
+func (b *ReplayBuffer) SampleInto(r *rand.Rand, n int, dst []Transition) []Transition {
+	ln := b.Len()
+	if ln == 0 || n <= 0 {
+		return dst
 	}
-	return out
+	for i := 0; i < n; i++ {
+		dst = append(dst, b.buf[r.Intn(ln)])
+	}
+	return dst
 }
 
 // OUNoise is an Ornstein-Uhlenbeck process, the standard exploration noise
@@ -166,6 +175,16 @@ type Agent struct {
 
 	// Updates counts TrainStep invocations that performed a gradient step.
 	Updates uint64
+
+	// TrainStep scratch, reused across steps: the RL training loops
+	// dominate campaign wall-clock, so the per-step minibatch, target,
+	// input-concatenation, and gradient buffers must not be reallocated
+	// tens of thousands of times per episode.
+	batch   []Transition
+	targets []float64
+	in      []float64
+	gact    []float64
+	gout    [1]float64
 }
 
 // New creates a DDPG agent (Alg. 3 lines 1-3: random init, target copies,
@@ -266,31 +285,34 @@ func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
 	if a.buf.Len() < a.cfg.BatchSize {
 		return 0, false
 	}
-	batch := a.buf.Sample(a.rng, a.cfg.BatchSize)
+	a.batch = a.buf.SampleInto(a.rng, a.cfg.BatchSize, a.batch[:0])
+	batch := a.batch
 	n := float64(len(batch))
 
 	// Critic update: minimize (y_i - Q(s_i, a_i))^2.
-	targets := make([]float64, len(batch))
+	if cap(a.targets) < len(batch) {
+		a.targets = make([]float64, len(batch))
+	}
+	targets := a.targets[:len(batch)]
 	for i, tr := range batch {
 		y := tr.R
 		if !tr.Done {
 			a2 := a.actorT.Forward(tr.S2)
-			in := make([]float64, 0, len(tr.S2)+len(a2))
-			in = append(in, tr.S2...)
-			in = append(in, a2...)
-			y += a.cfg.Gamma * a.criticT.Forward(in)[0]
+			a.in = append(a.in[:0], tr.S2...)
+			a.in = append(a.in, a2...)
+			y += a.cfg.Gamma * a.criticT.Forward(a.in)[0]
 		}
 		targets[i] = y
 	}
 	a.critic.ZeroGrad()
 	for i, tr := range batch {
-		in := make([]float64, 0, len(tr.S)+len(tr.A))
-		in = append(in, tr.S...)
-		in = append(in, tr.A...)
-		q := a.critic.Forward(in)[0]
+		a.in = append(a.in[:0], tr.S...)
+		a.in = append(a.in, tr.A...)
+		q := a.critic.Forward(a.in)[0]
 		d := q - targets[i]
 		criticLoss += d * d / n
-		a.critic.Backward([]float64{2 * d / n})
+		a.gout[0] = 2 * d / n
+		a.critic.Backward(a.gout[:])
 	}
 	a.optC.Step()
 
@@ -307,14 +329,17 @@ func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
 	a.actor.ZeroGrad()
 	for _, tr := range batch {
 		act := a.actor.Forward(tr.S)
-		in := make([]float64, 0, len(tr.S)+len(act))
-		in = append(in, tr.S...)
-		in = append(in, act...)
+		a.in = append(a.in[:0], tr.S...)
+		a.in = append(a.in, act...)
 		a.critic.ZeroGrad()
-		a.critic.Forward(in)
-		gin := a.critic.Backward([]float64{1})
+		a.critic.Forward(a.in)
+		a.gout[0] = 1
+		gin := a.critic.Backward(a.gout[:])
 		dqda := gin[len(tr.S):]
-		gact := make([]float64, len(dqda))
+		if cap(a.gact) < len(dqda) {
+			a.gact = make([]float64, len(dqda))
+		}
+		gact := a.gact[:len(dqda)]
 		for i := range dqda {
 			gact[i] = -dqda[i] / n // minimize -Q
 		}
@@ -349,12 +374,12 @@ func (a *Agent) PretrainActor(states, actions [][]float64, epochs int, lr float6
 		idx[i] = i
 	}
 	n := float64(len(states))
+	grad := make([]float64, a.actor.OutputDim())
 	for e := 0; e < epochs; e++ {
 		a.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		a.actor.ZeroGrad()
 		for _, i := range idx {
 			out := a.actor.Forward(states[i])
-			grad := make([]float64, len(out))
 			for j := range out {
 				grad[j] = 2 * (out[j] - actions[i][j]) / n
 			}

@@ -1,0 +1,241 @@
+package stats
+
+import "math"
+
+// Window is an order-statistics sliding window: a sorted multiset of
+// float64 observations supporting O(log W) insert and evict and O(log W)
+// percentile queries. It exists for the controller's per-tick tail-latency
+// measurement (internal/detect.Monitor): the batch path re-copies and
+// re-sorts the whole window every tick — O(W log W) plus per-tick garbage —
+// while a Window is maintained incrementally as traces complete and expire,
+// so the per-tick cost no longer scales with window size.
+//
+// Percentile reproduces Percentile's linear-interpolation result bit for
+// bit for the same multiset, including its NaN semantics: a window holding
+// any NaN yields NaN (rank statistics over NaN-polluted samples are
+// undefined). The structure is a treap keyed by value with duplicate
+// counts collapsed per node, node storage pooled in a slice with a free
+// list — steady-state operation allocates nothing.
+type Window struct {
+	nodes []winNode
+	free  []int32
+	root  int32
+	nan   int    // NaN observations (kept out of the ordered multiset)
+	prng  uint64 // splitmix64 state for treap priorities
+	cmp   uint64 // key comparisons performed (ops accounting)
+}
+
+// winNode is one distinct key with its duplicate count. Children are pool
+// indices; 0 is the nil sentinel.
+type winNode struct {
+	key  float64
+	pri  uint64
+	cnt  int32 // occurrences of key
+	size int32 // occurrences in this subtree (including cnt)
+	l, r int32
+}
+
+// NewWindow returns an empty window. The optional capacity hint presizes
+// the node pool so the steady state is reached without growth.
+func NewWindow(capHint int) *Window {
+	if capHint < 0 {
+		capHint = 0
+	}
+	w := &Window{nodes: make([]winNode, 1, capHint+1)} // index 0 = nil sentinel
+	w.prng = 0x9e3779b97f4a7c15
+	return w
+}
+
+// splitmix64 advances the deterministic priority stream. Priorities only
+// shape the treap (never results), so a fixed stream keeps the structure
+// reproducible without consuming any simulation randomness.
+func (w *Window) splitmix64() uint64 {
+	w.prng += 0x9e3779b97f4a7c15
+	z := w.prng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len returns the number of observations currently in the window,
+// including NaNs.
+func (w *Window) Len() int { return int(w.size(w.root)) + w.nan }
+
+// Comparisons returns the cumulative number of key comparisons performed —
+// an exact, machine-independent operation count for perf accounting.
+func (w *Window) Comparisons() uint64 { return w.cmp }
+
+func (w *Window) size(n int32) int32 { return w.nodes[n].size }
+
+func (w *Window) pull(n int32) {
+	nd := &w.nodes[n]
+	nd.size = nd.cnt + w.nodes[nd.l].size + w.nodes[nd.r].size
+}
+
+func (w *Window) alloc(x float64) int32 {
+	var n int32
+	if ln := len(w.free); ln > 0 {
+		n = w.free[ln-1]
+		w.free = w.free[:ln-1]
+	} else {
+		w.nodes = append(w.nodes, winNode{})
+		n = int32(len(w.nodes) - 1)
+	}
+	w.nodes[n] = winNode{key: x, pri: w.splitmix64(), cnt: 1, size: 1}
+	return n
+}
+
+// rotRight lifts n's left child; rotLeft lifts n's right child.
+func (w *Window) rotRight(n int32) int32 {
+	l := w.nodes[n].l
+	w.nodes[n].l = w.nodes[l].r
+	w.nodes[l].r = n
+	w.pull(n)
+	w.pull(l)
+	return l
+}
+
+func (w *Window) rotLeft(n int32) int32 {
+	r := w.nodes[n].r
+	w.nodes[n].r = w.nodes[r].l
+	w.nodes[r].l = n
+	w.pull(n)
+	w.pull(r)
+	return r
+}
+
+// Add inserts one observation.
+func (w *Window) Add(x float64) {
+	if math.IsNaN(x) {
+		w.nan++
+		return
+	}
+	w.root = w.insert(w.root, x)
+}
+
+// insert may grow the node pool; winNode pointers are never held across
+// recursive calls.
+func (w *Window) insert(n int32, x float64) int32 {
+	if n == 0 {
+		return w.alloc(x)
+	}
+	w.cmp++
+	if x < w.nodes[n].key {
+		l := w.insert(w.nodes[n].l, x)
+		w.nodes[n].l = l
+		if w.nodes[l].pri < w.nodes[n].pri {
+			n = w.rotRight(n)
+		}
+	} else if w.cmp++; x > w.nodes[n].key {
+		r := w.insert(w.nodes[n].r, x)
+		w.nodes[n].r = r
+		if w.nodes[r].pri < w.nodes[n].pri {
+			n = w.rotLeft(n)
+		}
+	} else {
+		w.nodes[n].cnt++
+	}
+	w.pull(n)
+	return n
+}
+
+// Remove evicts one occurrence of x and reports whether it was present.
+// Removing a NaN evicts one NaN observation.
+func (w *Window) Remove(x float64) bool {
+	if math.IsNaN(x) {
+		if w.nan == 0 {
+			return false
+		}
+		w.nan--
+		return true
+	}
+	var ok bool
+	w.root, ok = w.remove(w.root, x)
+	return ok
+}
+
+func (w *Window) remove(n int32, x float64) (int32, bool) {
+	if n == 0 {
+		return 0, false
+	}
+	var ok bool
+	w.cmp++
+	if x < w.nodes[n].key {
+		w.nodes[n].l, ok = w.remove(w.nodes[n].l, x)
+	} else if w.cmp++; x > w.nodes[n].key {
+		w.nodes[n].r, ok = w.remove(w.nodes[n].r, x)
+	} else {
+		if w.nodes[n].cnt > 1 {
+			w.nodes[n].cnt--
+			w.pull(n)
+			return n, true
+		}
+		j := w.join(w.nodes[n].l, w.nodes[n].r)
+		w.free = append(w.free, n)
+		return j, true
+	}
+	w.pull(n)
+	return n, ok
+}
+
+// join merges two treaps where every key in l precedes every key in r.
+func (w *Window) join(l, r int32) int32 {
+	switch {
+	case l == 0:
+		return r
+	case r == 0:
+		return l
+	case w.nodes[l].pri < w.nodes[r].pri:
+		w.nodes[l].r = w.join(w.nodes[l].r, r)
+		w.pull(l)
+		return l
+	default:
+		w.nodes[r].l = w.join(l, w.nodes[r].l)
+		w.pull(r)
+		return r
+	}
+}
+
+// kth returns the k-th smallest observation, 0 <= k < Len()-nan.
+func (w *Window) kth(k int32) float64 {
+	n := w.root
+	for {
+		l := w.nodes[n].l
+		ls := w.nodes[l].size
+		if k < ls {
+			n = l
+			continue
+		}
+		k -= ls
+		if k < w.nodes[n].cnt {
+			return w.nodes[n].key
+		}
+		k -= w.nodes[n].cnt
+		n = w.nodes[n].r
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the windowed
+// multiset with linear interpolation between closest ranks — bit-identical
+// to Percentile over a slice holding the same observations: an empty or
+// NaN-containing window yields NaN.
+func (w *Window) Percentile(p float64) float64 {
+	n := w.size(w.root)
+	if n == 0 || w.nan > 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return w.kth(0)
+	}
+	if p >= 100 {
+		return w.kth(n - 1)
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int32(math.Floor(rank))
+	hi := int32(math.Ceil(rank))
+	if lo == hi {
+		return w.kth(lo)
+	}
+	frac := rank - float64(lo)
+	return w.kth(lo)*(1-frac) + w.kth(hi)*frac
+}

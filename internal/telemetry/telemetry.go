@@ -30,16 +30,52 @@ type NodeSample struct {
 	CPUAllocated float64
 }
 
-type series struct {
-	samples []Sample
-	cap     int
+// ring is a fixed-capacity circular buffer in time order. The previous
+// implementation appended and re-sliced on overflow, which both pinned the
+// evicted prefix in the backing array (the re-slice keeps the allocation
+// alive) and re-allocated on append growth forever; the ring's backing
+// array is bounded by max and, once grown, every add is in place.
+type ring[T any] struct {
+	buf  []T
+	head int // index of the oldest element once full
+	max  int
 }
 
-func (s *series) add(x Sample) {
-	s.samples = append(s.samples, x)
-	if len(s.samples) > s.cap {
-		s.samples = s.samples[len(s.samples)-s.cap:]
+func (r *ring[T]) add(x T) {
+	if len(r.buf) < r.max {
+		if len(r.buf) == cap(r.buf) {
+			// Grow manually toward the bound: append's growth policy may
+			// overshoot max, and the backing array must stay bounded.
+			next := 2 * cap(r.buf)
+			if next < 8 {
+				next = 8
+			}
+			if next > r.max {
+				next = r.max
+			}
+			grown := make([]T, len(r.buf), next)
+			copy(grown, r.buf)
+			r.buf = grown
+		}
+		r.buf = append(r.buf, x)
+		return
 	}
+	r.buf[r.head] = x
+	r.head = (r.head + 1) % r.max
+}
+
+func (r *ring[T]) len() int { return len(r.buf) }
+
+// at returns the i-th oldest element, 0 <= i < len().
+func (r *ring[T]) at(i int) T {
+	if len(r.buf) < r.max {
+		return r.buf[i]
+	}
+	return r.buf[(r.head+i)%r.max]
+}
+
+type series struct {
+	samples ring[Sample]
 }
 
 // Collector samples container and node telemetry on a fixed interval.
@@ -50,7 +86,7 @@ type Collector struct {
 	capPer   int
 
 	containers map[string]*series
-	nodes      map[string][]NodeSample
+	nodes      map[string]*ring[NodeSample]
 	ticker     *sim.Ticker
 }
 
@@ -66,7 +102,7 @@ func NewCollector(eng *sim.Engine, cl *cluster.Cluster, interval sim.Time, keep 
 	c := &Collector{
 		eng: eng, cl: cl, interval: interval, capPer: keep,
 		containers: make(map[string]*series),
-		nodes:      make(map[string][]NodeSample),
+		nodes:      make(map[string]*ring[NodeSample]),
 	}
 	c.ticker = sim.NewTicker(eng, interval, c.sample)
 	return c
@@ -81,16 +117,21 @@ func (c *Collector) Stop() { c.ticker.Stop() }
 // Interval returns the sampling period.
 func (c *Collector) Interval() sim.Time { return c.interval }
 
+// SampleNow takes one sampling pass at the current simulated time, outside
+// the ticker schedule. It exists for the telemetry microbenchmarks
+// (internal/perf); simulations sample through Start.
+func (c *Collector) SampleNow() { c.sample() }
+
 func (c *Collector) sample() {
 	now := c.eng.Now()
 	for _, rs := range c.cl.ReplicaSets() {
 		for _, ct := range rs.Containers() {
 			s, ok := c.containers[ct.ID]
 			if !ok {
-				s = &series{cap: c.capPer}
+				s = &series{samples: ring[Sample]{max: c.capPer}}
 				c.containers[ct.ID] = s
 			}
-			s.add(Sample{
+			s.samples.add(Sample{
 				At:       now,
 				Util:     ct.Utilization(),
 				Usage:    ct.Usage(),
@@ -101,57 +142,82 @@ func (c *Collector) sample() {
 		}
 	}
 	for _, n := range c.cl.Nodes() {
-		ns := c.nodes[n.ID]
-		ns = append(ns, NodeSample{
+		ns, ok := c.nodes[n.ID]
+		if !ok {
+			ns = &ring[NodeSample]{max: c.capPer}
+			c.nodes[n.ID] = ns
+		}
+		ns.add(NodeSample{
 			At:           now,
 			Util:         n.Utilization(),
 			PerCoreDRAM:  n.PerCoreDRAMAccess(),
 			CPUAllocated: n.CPUAllocated(),
 		})
-		if len(ns) > c.capPer {
-			ns = ns[len(ns)-c.capPer:]
-		}
-		c.nodes[n.ID] = ns
 	}
 }
 
 // Latest returns the most recent sample for a container instance.
 func (c *Collector) Latest(instance string) (Sample, bool) {
 	s, ok := c.containers[instance]
-	if !ok || len(s.samples) == 0 {
+	if !ok || s.samples.len() == 0 {
 		return Sample{}, false
 	}
-	return s.samples[len(s.samples)-1], true
+	return s.samples.at(s.samples.len() - 1), true
 }
 
-// Window returns samples for instance with At >= since.
+// sinceIdx binary-searches a time-ordered ring for the first index with
+// At >= since, given an accessor for the i-th element's timestamp.
+func sinceIdx(n int, at func(int) sim.Time, since sim.Time) int {
+	return sort.Search(n, func(i int) bool { return at(i) >= since })
+}
+
+// Window returns a copy of the samples for instance with At >= since.
 func (c *Collector) Window(instance string, since sim.Time) []Sample {
 	s, ok := c.containers[instance]
 	if !ok {
 		return nil
 	}
-	idx := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At >= since })
-	return append([]Sample(nil), s.samples[idx:]...)
+	n := s.samples.len()
+	idx := sinceIdx(n, func(i int) sim.Time { return s.samples.at(i).At }, since)
+	out := make([]Sample, 0, n-idx)
+	for i := idx; i < n; i++ {
+		out = append(out, s.samples.at(i))
+	}
+	return out
 }
 
-// MeanUtil averages utilization across a window for instance.
+// MeanUtil averages utilization across a window for instance. It iterates
+// the ring in place — no per-call window copy.
 func (c *Collector) MeanUtil(instance string, since sim.Time) (cluster.Vector, bool) {
-	w := c.Window(instance, since)
-	if len(w) == 0 {
+	s, ok := c.containers[instance]
+	if !ok {
+		return cluster.Vector{}, false
+	}
+	n := s.samples.len()
+	idx := sinceIdx(n, func(i int) sim.Time { return s.samples.at(i).At }, since)
+	if idx == n {
 		return cluster.Vector{}, false
 	}
 	var sum cluster.Vector
-	for _, s := range w {
-		sum = sum.Add(s.Util)
+	for i := idx; i < n; i++ {
+		sum = sum.Add(s.samples.at(i).Util)
 	}
-	return sum.Scale(1 / float64(len(w))), true
+	return sum.Scale(1 / float64(n-idx)), true
 }
 
-// NodeWindow returns node samples with At >= since.
+// NodeWindow returns a copy of the node samples with At >= since.
 func (c *Collector) NodeWindow(nodeID string, since sim.Time) []NodeSample {
-	ns := c.nodes[nodeID]
-	idx := sort.Search(len(ns), func(i int) bool { return ns[i].At >= since })
-	return append([]NodeSample(nil), ns[idx:]...)
+	ns, ok := c.nodes[nodeID]
+	if !ok {
+		return nil
+	}
+	n := ns.len()
+	idx := sinceIdx(n, func(i int) sim.Time { return ns.at(i).At }, since)
+	out := make([]NodeSample, 0, n-idx)
+	for i := idx; i < n; i++ {
+		out = append(out, ns.at(i))
+	}
+	return out
 }
 
 // Meter tracks request arrivals: rate (req/s) and composition per type.

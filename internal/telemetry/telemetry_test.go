@@ -195,3 +195,58 @@ func TestPanicsOnBadParams(t *testing.T) {
 	mustPanic(func() { NewCollector(eng, nil, 0, 10) })
 	mustPanic(func() { NewMeter(eng, 0, nil) })
 }
+
+// TestSeriesCapacityBounded regression-tests the backing-array retention
+// bug: the old slice-resliced series pinned the evicted prefix (the
+// re-slice kept the whole ever-growing allocation alive). The circular
+// buffer must keep the backing array at the retention cap, keep samples in
+// time order across wraps, and add in place once full.
+func TestSeriesCapacityBounded(t *testing.T) {
+	const keep = 16
+	s := &series{samples: ring[Sample]{max: keep}}
+	for i := 0; i < 40*keep; i++ {
+		s.samples.add(Sample{At: sim.Time(i), Busy: i})
+	}
+	if got := cap(s.samples.buf); got > keep {
+		t.Fatalf("backing array capacity %d exceeds retention cap %d", got, keep)
+	}
+	if got := s.samples.len(); got != keep {
+		t.Fatalf("len = %d, want %d", got, keep)
+	}
+	for i := 0; i < keep; i++ {
+		want := 40*keep - keep + i
+		if got := s.samples.at(i); int(got.At) != want || got.Busy != want {
+			t.Fatalf("at(%d) = {At:%v Busy:%d}, want %d (oldest-first after wrap)", i, got.At, got.Busy, want)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.samples.add(Sample{}) }); allocs != 0 {
+		t.Fatalf("full-ring add allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestCollectorWindowAcrossWrap checks the since-filter against a wrapped
+// ring: binary search runs over the virtual (time) order, not the raw
+// backing array.
+func TestCollectorWindowAcrossWrap(t *testing.T) {
+	eng, cl, c := setup(t)
+	col := NewCollector(eng, cl, 100*sim.Millisecond, 5)
+	col.Start()
+	eng.RunUntil(sim.FromMillis(1250)) // 12 samples into a 5-cap ring
+	w := col.Window(c.ID, 0)
+	if len(w) != 5 {
+		t.Fatalf("window has %d samples, want 5", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i].At <= w[i-1].At {
+			t.Fatalf("window out of time order at %d: %v after %v", i, w[i].At, w[i-1].At)
+		}
+	}
+	since := w[3].At
+	if got := col.Window(c.ID, since); len(got) != 2 || got[0].At != since {
+		t.Fatalf("since-filtered window = %d samples starting %v, want 2 starting %v", len(got), got[0].At, since)
+	}
+	mu, ok := col.MeanUtil(c.ID, w[4].At+1)
+	if ok {
+		t.Fatalf("MeanUtil past the newest sample = %v, want no data", mu)
+	}
+}

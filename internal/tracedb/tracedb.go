@@ -12,12 +12,27 @@ import (
 	"firm/internal/trace"
 )
 
+// Observer receives the store's mutation stream: every consumed trace and
+// every trace the bounded ring evicts to make room. Incremental views —
+// detect.Monitor's sliding tail-latency window is the motivating one — stay
+// exactly synchronized with the store this way, instead of re-selecting the
+// window each tick.
+type Observer interface {
+	// TraceStored is called after t enters the ring.
+	TraceStored(t *trace.Trace)
+	// TraceEvicted is called when the ring overwrites its oldest trace.
+	// Eviction happens in consume order, so observers see evictions
+	// oldest-first, each before the TraceStored that displaced it.
+	TraceEvicted(t *trace.Trace)
+}
+
 // Store is a bounded ring of completed traces with per-request-type indexes.
 type Store struct {
 	cap    int
 	buf    []*trace.Trace
 	head   int
 	filled bool
+	obs    []Observer
 
 	total   uint64
 	dropped uint64
@@ -33,6 +48,11 @@ func New(cap int) *Store {
 
 // Consume implements trace.Sink.
 func (s *Store) Consume(t *trace.Trace) {
+	if old := s.buf[s.head]; old != nil {
+		for _, o := range s.obs {
+			o.TraceEvicted(old)
+		}
+	}
 	s.buf[s.head] = t
 	s.head = (s.head + 1) % s.cap
 	if s.head == 0 {
@@ -42,6 +62,19 @@ func (s *Store) Consume(t *trace.Trace) {
 	if t.Dropped {
 		s.dropped++
 	}
+	for _, o := range s.obs {
+		o.TraceStored(t)
+	}
+}
+
+// Observe registers an observer, first replaying the store's current
+// contents (oldest-first) as TraceStored calls so registration order
+// relative to workload start does not matter.
+func (s *Store) Observe(o Observer) {
+	for i, n := 0, s.Len(); i < n; i++ {
+		o.TraceStored(s.at(i))
+	}
+	s.obs = append(s.obs, o)
 }
 
 // Len returns the number of traces currently stored.
@@ -91,12 +124,20 @@ type Query struct {
 // scanning the whole window (the control loop issues a Select per tick
 // against a window that is a tiny suffix of the 200k-trace store).
 func (s *Store) Select(q Query) []*trace.Trace {
+	return s.SelectAppend(nil, q)
+}
+
+// SelectAppend appends the traces Select would return to dst and returns
+// the extended slice. Per-tick callers (the control loop's violated path)
+// pass a retained buffer re-sliced to length zero, so the selection reuses
+// one allocation for the life of the controller.
+func (s *Store) SelectAppend(dst []*trace.Trace, q Query) []*trace.Trace {
 	n := s.Len()
 	start := 0
 	if q.Since > 0 {
 		start = sort.Search(n, func(i int) bool { return s.at(i).End >= q.Since })
 	}
-	var out []*trace.Trace
+	base := len(dst)
 	for i := start; i < n; i++ {
 		t := s.at(i)
 		if q.Type != "" && t.Type != q.Type {
@@ -105,12 +146,13 @@ func (s *Store) Select(q Query) []*trace.Trace {
 		if t.Dropped && !q.IncludeDrop {
 			continue
 		}
-		out = append(out, t)
+		dst = append(dst, t)
 	}
-	if q.Limit > 0 && len(out) > q.Limit {
-		out = out[len(out)-q.Limit:]
+	if matched := dst[base:]; q.Limit > 0 && len(matched) > q.Limit {
+		kept := copy(matched, matched[len(matched)-q.Limit:])
+		dst = dst[:base+kept]
 	}
-	return out
+	return dst
 }
 
 // Types returns the distinct request types in the window, sorted.
