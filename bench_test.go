@@ -178,9 +178,13 @@ func BenchmarkTable6(b *testing.B) {
 // benchmarks. `firmbench -bench` runs the same functions and records them
 // as BENCH_*.json; CI gates on the core-tick allocs/op budget.
 
-func BenchmarkCoreTick(b *testing.B)      { perf.CoreTick(b) }
-func BenchmarkCoreTickNaive(b *testing.B) { perf.CoreTickNaive(b) }
-func BenchmarkStatsWindow(b *testing.B)   { perf.StatsWindow(b) }
-func BenchmarkTracedbSelect(b *testing.B) { perf.TracedbSelect(b) }
-func BenchmarkTelemetryAdd(b *testing.B)  { perf.TelemetryAdd(b) }
-func BenchmarkNNTrainStep(b *testing.B)   { perf.NNTrainStep(b) }
+func BenchmarkCoreTick(b *testing.B)            { perf.CoreTick(b) }
+func BenchmarkCoreTickNaive(b *testing.B)       { perf.CoreTickNaive(b) }
+func BenchmarkStatsWindow(b *testing.B)         { perf.StatsWindow(b) }
+func BenchmarkTracedbSelect(b *testing.B)       { perf.TracedbSelect(b) }
+func BenchmarkTelemetryAdd(b *testing.B)        { perf.TelemetryAdd(b) }
+func BenchmarkNNForwardBatch(b *testing.B)      { perf.NNForwardBatch(b) }
+func BenchmarkRLTrainStepBatched(b *testing.B)  { perf.RLTrainStepBatched(b) }
+func BenchmarkRLTrainStepSeq(b *testing.B)      { perf.RLTrainStepSeq(b) }
+func BenchmarkDetectFeatures(b *testing.B)      { perf.DetectFeatures(b) }
+func BenchmarkRolloutRoundOverlap(b *testing.B) { perf.RolloutRoundOverlap(b) }

@@ -2,11 +2,14 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
+	"strings"
 
 	"firm/internal/perf"
 	"firm/internal/report"
@@ -60,7 +63,7 @@ func withProfiles(cpuPath, memPath string, f func() int) int {
 // The JSON's ns/op is machine-dependent by nature; allocs/op, bytes/op,
 // and the cmp/op operation counts are exact — those carry the perf
 // trajectory across PRs and gate CI.
-func runBenchSuite(names []string, jsonOut string, maxAllocs map[string]float64) int {
+func runBenchSuite(names []string, jsonOut string, maxAllocs map[string]float64, trend bool) int {
 	// Thresholds must reference benchmarks this invocation runs, else the
 	// gate silently gates nothing — that is flag misuse.
 	seen := map[string]bool{}
@@ -152,6 +155,182 @@ func runBenchSuite(names []string, jsonOut string, maxAllocs map[string]float64)
 		if limit, ok := maxAllocs[r.Name]; ok && r.AllocsPerOp > limit {
 			fmt.Fprintf(os.Stderr, "firmbench: PERF REGRESSION: %s allocs/op = %g exceeds the committed budget %g\n",
 				r.Name, r.AllocsPerOp, limit)
+			code = 1
+		}
+	}
+	if trend {
+		if tc := runBenchTrend(textOut, nil, results); tc > code {
+			code = tc
+		}
+	}
+	return code
+}
+
+// benchTrendRun is one recorded benchmark run — a committed BENCH_*.json
+// campaign, keyed by file base name.
+type benchTrendRun struct {
+	name string
+	vals map[string]map[string]float64 // benchmark label -> metric -> value
+}
+
+// loadBenchRun decodes one BENCH_*.json campaign into label->metric maps.
+func loadBenchRun(path string) (benchTrendRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return benchTrendRun{}, err
+	}
+	defer f.Close()
+	c, err := report.Decode(f)
+	if err != nil {
+		return benchTrendRun{}, fmt.Errorf("%s: %w", path, err)
+	}
+	run := benchTrendRun{
+		name: strings.TrimSuffix(filepath.Base(path), ".json"),
+		vals: map[string]map[string]float64{},
+	}
+	for _, rep := range c.Reports {
+		if rep.ID != "bench" {
+			continue
+		}
+		for _, row := range rep.Rows {
+			m := map[string]float64{}
+			for _, v := range row.Values {
+				m[v.Metric] = float64(v.Value)
+			}
+			run.vals[row.Label] = m
+		}
+	}
+	if len(run.vals) == 0 {
+		return benchTrendRun{}, fmt.Errorf("%s: no bench report found (is it a firmbench -bench -json file?)", path)
+	}
+	return run, nil
+}
+
+// sortBenchPaths orders BENCH_*.json files by their numeric PR suffix where
+// one exists (BENCH_5 before BENCH_6 before BENCH_12), keeping non-numeric
+// names (BENCH_ci) after, alphabetically — so trend columns read
+// left-to-right as the repo's history.
+func sortBenchPaths(paths []string) {
+	num := func(p string) (int, bool) {
+		base := strings.TrimSuffix(filepath.Base(p), ".json")
+		_, suffix, ok := strings.Cut(base, "_")
+		if !ok {
+			return 0, false
+		}
+		n, err := strconv.Atoi(suffix)
+		return n, err == nil
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		ni, iok := num(paths[i])
+		nj, jok := num(paths[j])
+		switch {
+		case iok && jok:
+			return ni != nj && ni < nj || ni == nj && paths[i] < paths[j]
+		case iok != jok:
+			return iok // numeric history before ad-hoc names
+		default:
+			return paths[i] < paths[j]
+		}
+	})
+}
+
+// runBenchTrend tabulates the repo's recorded benchmark runs — each
+// committed BENCH_*.json is one column, benchmarks are rows, cells are
+// "ns-op/allocs-op" — and, when current is non-nil (-bench -bench-trend),
+// appends the in-process run as the final column and gates it: a current
+// allocs/op above the best (minimum) recorded value for that benchmark is a
+// perf regression and fails the run. ns/op is shown for the trajectory but
+// never gated — it is machine-dependent; allocs/op is deterministic.
+func runBenchTrend(w io.Writer, paths []string, current []perf.Result) int {
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(paths) == 0 {
+			fmt.Fprintln(os.Stderr, "firmbench: -bench-trend: no BENCH_*.json files found (run from the repo root or name the files)")
+			return 2
+		}
+	}
+	sortBenchPaths(paths)
+	runs := make([]benchTrendRun, 0, len(paths))
+	for _, p := range paths {
+		run, err := loadBenchRun(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "firmbench: -bench-trend: %v\n", err)
+			return 2
+		}
+		runs = append(runs, run)
+	}
+
+	// Row order: first appearance across the recorded history, then any
+	// benchmarks only the current run has.
+	var labels []string
+	seen := map[string]bool{}
+	for _, run := range runs {
+		names := make([]string, 0, len(run.vals))
+		for l := range run.vals {
+			names = append(names, l)
+		}
+		sort.Strings(names)
+		for _, l := range names {
+			if !seen[l] {
+				seen[l] = true
+				labels = append(labels, l)
+			}
+		}
+	}
+	for _, r := range current {
+		if !seen[r.Name] {
+			seen[r.Name] = true
+			labels = append(labels, r.Name)
+		}
+	}
+
+	header := []string{"benchmark"}
+	for _, run := range runs {
+		header = append(header, run.name)
+	}
+	if current != nil {
+		header = append(header, "current")
+	}
+	cell := func(ns, allocs float64) string {
+		return fmt.Sprintf("%.0f/%g", ns, allocs)
+	}
+	tbl := &report.Table{Title: "bench trend (ns-op/allocs-op per recorded run)", Header: header}
+	for _, l := range labels {
+		row := []string{l}
+		for _, run := range runs {
+			if m, ok := run.vals[l]; ok {
+				row = append(row, cell(m["ns-op"], m["allocs-op"]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if current != nil {
+			c := "-"
+			for _, r := range current {
+				if r.Name == l {
+					c = cell(r.NsPerOp, r.AllocsPerOp)
+				}
+			}
+			row = append(row, c)
+		}
+		tbl.Add(row...)
+	}
+	fmt.Fprint(w, tbl.String())
+
+	code := 0
+	for _, r := range current {
+		best, have := 0.0, false
+		for _, run := range runs {
+			if m, ok := run.vals[r.Name]; ok {
+				if a, ok := m["allocs-op"]; ok && (!have || a < best) {
+					best, have = a, true
+				}
+			}
+		}
+		if have && r.AllocsPerOp > best {
+			fmt.Fprintf(os.Stderr, "firmbench: PERF REGRESSION: %s allocs/op = %g exceeds the best recorded run (%g)\n",
+				r.Name, r.AllocsPerOp, best)
 			code = 1
 		}
 	}

@@ -8,6 +8,8 @@
 //	firmbench -run all -scale full -parallel 8
 //	firmbench -run fig11b -scale tiny -rollout 4
 //	firmbench -run all -scale tiny -json results.json
+//	firmbench -bench -bench-trend -json BENCH_ci.json
+//	firmbench -bench-trend
 //	firmbench -diff [-tol 0.05] [-tol-metric p99=0.1] a.json b.json
 //	firmbench -serve :8701
 //	firmbench -dist host1:8701,host2:8701 -run all -scale full
@@ -41,7 +43,17 @@
 // engine. -rollout pins the per-campaign rollout worker count; the default
 // (0) lets rollouts borrow whatever the -parallel job pool leaves spare, so
 // inner and outer parallelism share one budget. Rollout worker count never
-// changes stdout either — only wall-clock.
+// changes stdout either — only wall-clock. -rollout-overlap (default true)
+// double-buffers rollout rounds: the learner replays finished episodes in
+// episode order while later episodes of the round are still rolling out;
+// =false restores the strict end-of-round barrier. Both settings produce
+// byte-identical output — the switch exists for A/B measurement.
+//
+// -bench-trend tabulates the repo's committed BENCH_*.json files (one
+// column per recorded run) so the allocs/op and ns/op trajectory across PRs
+// is visible at a glance; combined with -bench it appends the current run
+// and fails if any benchmark's allocs/op regresses past the best recorded
+// run.
 //
 // -serve and -dist split one campaign across machines (internal/dist):
 // `firmbench -serve :port` runs a worker, `firmbench -dist host1,host2 -run
@@ -103,6 +115,7 @@ func (t tolMetricFlag) Set(s string) error {
 type invocation struct {
 	run, jsonOut, serve, dist string
 	list, diff, bench         bool
+	benchTrend                bool
 	tol                       float64
 	tolMetric                 tolMetricFlag
 	benchAllocs               tolMetricFlag
@@ -131,8 +144,8 @@ func (inv invocation) validate() error {
 		return fmt.Errorf("-dist-timeout is only meaningful with -dist")
 	}
 	if inv.diff {
-		if inv.run != "" || inv.jsonOut != "" || inv.list || inv.serve != "" || inv.dist != "" || inv.bench {
-			return fmt.Errorf("-diff compares two result files and cannot be combined with -run, -json, -list, -serve, -dist, or -bench")
+		if inv.run != "" || inv.jsonOut != "" || inv.list || inv.serve != "" || inv.dist != "" || inv.bench || inv.benchTrend {
+			return fmt.Errorf("-diff compares two result files and cannot be combined with -run, -json, -list, -serve, -dist, -bench, or -bench-trend")
 		}
 		if len(inv.args) != 2 {
 			return fmt.Errorf("-diff takes exactly two file arguments, got %d", len(inv.args))
@@ -146,7 +159,7 @@ func (inv invocation) validate() error {
 		if inv.run != "" || inv.list || inv.serve != "" || inv.dist != "" {
 			return fmt.Errorf("-bench runs the microbenchmark suite and cannot be combined with -run, -list, -serve, or -dist")
 		}
-		for _, f := range []string{"scale", "seed", "parallel", "rollout"} {
+		for _, f := range []string{"scale", "seed", "parallel", "rollout", "rollout-overlap"} {
 			if inv.explicit[f] {
 				return fmt.Errorf("-%s is not meaningful with -bench (benchmarks pin their own scale and seed)", f)
 			}
@@ -157,8 +170,26 @@ func (inv invocation) validate() error {
 	if len(inv.benchAllocs) > 0 {
 		return fmt.Errorf("-bench-allocs is only meaningful with -bench")
 	}
+	if inv.benchTrend {
+		// Standalone trend mode: tabulate recorded runs only. (Combined with
+		// -bench it additionally gates the in-process run; that returned
+		// above.)
+		if inv.run != "" || inv.list || inv.serve != "" || inv.dist != "" {
+			return fmt.Errorf("-bench-trend tabulates recorded BENCH_*.json files and cannot be combined with -run, -list, -serve, or -dist")
+		}
+		if inv.jsonOut != "" {
+			return fmt.Errorf("-json is only meaningful with -bench or a campaign, not standalone -bench-trend")
+		}
+		for _, f := range []string{"scale", "seed", "parallel", "rollout", "rollout-overlap"} {
+			if inv.explicit[f] {
+				return fmt.Errorf("-%s is not meaningful with -bench-trend", f)
+			}
+		}
+		// Positional args name the recorded files (default: ./BENCH_*.json).
+		return nil
+	}
 	if len(inv.args) > 0 {
-		return fmt.Errorf("unexpected arguments %q (file arguments are only valid with -diff, benchmark names with -bench)", inv.args)
+		return fmt.Errorf("unexpected arguments %q (file arguments are only valid with -diff and -bench-trend, benchmark names with -bench)", inv.args)
 	}
 	if inv.serve != "" {
 		if inv.run != "" || inv.jsonOut != "" || inv.list || inv.dist != "" {
@@ -199,6 +230,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids")
 		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		rollWk   = flag.Int("rollout", 0, "RL episode-rollout workers per training campaign (0 = share -parallel budget)")
+		rollOv   = flag.Bool("rollout-overlap", true, "double-buffer rollout rounds: learner replays finished episodes while later ones roll out (false = strict end-of-round barrier; results are byte-identical either way)")
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 		jsonOut  = flag.String("json", "", "write campaign results as canonical JSON to this path ('-' = stdout, text reports to stderr)")
 		diffMode = flag.Bool("diff", false, "compare two campaign JSON files: firmbench -diff [-tol x] a.json b.json")
@@ -207,6 +239,7 @@ func main() {
 		distTo   = flag.String("dist", "", "comma-separated worker addresses; run the campaign as their coordinator")
 		distWait = flag.Duration("dist-timeout", 0, "per-job timeout for -dist before a worker counts as failed (0 = none)")
 		bench    = flag.Bool("bench", false, "run the microbenchmark suite (optionally name benchmarks as arguments) and report allocs/op, bytes/op, ns/op")
+		benchTr  = flag.Bool("bench-trend", false, "tabulate recorded BENCH_*.json runs (optionally named as arguments) as a trend table; with -bench, also gate the current run's allocs/op against the best recorded run")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign or bench run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at campaign or bench end to this file")
 	)
@@ -219,7 +252,7 @@ func main() {
 
 	inv := invocation{
 		run: *run, jsonOut: *jsonOut, serve: *serve, dist: *distTo,
-		list: *list, diff: *diffMode, bench: *bench,
+		list: *list, diff: *diffMode, bench: *bench, benchTrend: *benchTr,
 		tol: *tol, tolMetric: tolMetric, benchAllocs: benchAllocs,
 		cpuprofile: *cpuProf, memprofile: *memProf,
 		distTimeout: *distWait,
@@ -230,7 +263,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "firmbench: %v\n", err)
 		fmt.Fprintln(os.Stderr, "usage: firmbench -run <id|all> [-scale tiny|quick|full] [-seed N] [-json path] [-cpuprofile f] [-memprofile f] |")
 		fmt.Fprintln(os.Stderr, "       firmbench -diff [-tol x] [-tol-metric name=x] a.json b.json |")
-		fmt.Fprintln(os.Stderr, "       firmbench -bench [bench ...] [-json path] [-bench-allocs name=N] |")
+		fmt.Fprintln(os.Stderr, "       firmbench -bench [bench ...] [-json path] [-bench-allocs name=N] [-bench-trend] |")
+		fmt.Fprintln(os.Stderr, "       firmbench -bench-trend [BENCH_*.json ...] |")
 		fmt.Fprintln(os.Stderr, "       firmbench -serve host:port | firmbench -dist host1,host2 -run <id|all>")
 		os.Exit(2)
 	}
@@ -241,12 +275,17 @@ func main() {
 
 	if *bench {
 		os.Exit(withProfiles(*cpuProf, *memProf, func() int {
-			return runBenchSuite(flag.Args(), *jsonOut, benchAllocs)
+			return runBenchSuite(flag.Args(), *jsonOut, benchAllocs, *benchTr)
 		}))
+	}
+
+	if *benchTr {
+		os.Exit(runBenchTrend(os.Stdout, flag.Args(), nil))
 	}
 
 	runner.SetWorkers(*parallel)
 	rollout.SetWorkers(*rollWk)
+	rollout.SetOverlap(*rollOv)
 	if !*quiet {
 		// Progress goes to stderr: stdout must stay byte-identical across
 		// worker counts, and completion order is scheduling-dependent.

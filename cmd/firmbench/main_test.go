@@ -2,8 +2,15 @@ package main
 
 import (
 	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 	"time"
+
+	"firm/internal/perf"
+	"firm/internal/report"
 )
 
 func TestValidateRejectsContradictoryInvocations(t *testing.T) {
@@ -47,6 +54,14 @@ func TestValidateRejectsContradictoryInvocations(t *testing.T) {
 		{"memprofile-without-target", invocation{memprofile: "mem.pprof"}},
 		{"cpuprofile-with-serve", invocation{serve: ":8701", cpuprofile: "cpu.pprof"}},
 		{"cpuprofile-with-diff", invocation{diff: true, cpuprofile: "cpu.pprof", args: []string{"a", "b"}}},
+		{"bench-trend-with-run", invocation{benchTrend: true, run: "fig3"}},
+		{"bench-trend-with-list", invocation{benchTrend: true, list: true}},
+		{"bench-trend-with-serve", invocation{benchTrend: true, serve: ":8701"}},
+		{"bench-trend-with-dist", invocation{benchTrend: true, dist: "h:1"}},
+		{"bench-trend-with-diff", invocation{benchTrend: true, diff: true, args: []string{"a", "b"}}},
+		{"bench-trend-with-json", invocation{benchTrend: true, jsonOut: "o.json"}},
+		{"bench-trend-with-explicit-rollout", invocation{benchTrend: true, explicit: map[string]bool{"rollout": true}}},
+		{"bench-with-explicit-rollout-overlap", invocation{bench: true, explicit: map[string]bool{"rollout-overlap": true}}},
 	}
 	for _, tc := range bad {
 		if err := tc.inv.validate(); err == nil {
@@ -68,6 +83,9 @@ func TestValidateRejectsContradictoryInvocations(t *testing.T) {
 		{"bench-with-profiles", invocation{bench: true, cpuprofile: "cpu.pprof", memprofile: "mem.pprof"}},
 		{"run-with-profiles", invocation{run: "fig3", cpuprofile: "cpu.pprof", memprofile: "mem.pprof"}},
 		{"dist-with-profiles", invocation{dist: "h1:1", run: "all", cpuprofile: "cpu.pprof"}},
+		{"bench-trend", invocation{benchTrend: true}},
+		{"bench-trend-with-files", invocation{benchTrend: true, args: []string{"BENCH_5.json", "BENCH_6.json"}}},
+		{"bench-with-trend-json", invocation{bench: true, benchTrend: true, jsonOut: "BENCH_ci.json"}},
 	}
 	for _, tc := range good {
 		if err := tc.inv.validate(); err != nil {
@@ -104,15 +122,90 @@ func TestRunBenchSuiteFlagMisuse(t *testing.T) {
 	// A threshold naming a benchmark this invocation does not run would
 	// gate nothing; that is misuse (exit 2), caught before any benchmark
 	// executes.
-	if code := runBenchSuite([]string{"stats-window"}, "", map[string]float64{"core-tick": 2}); code != 2 {
+	if code := runBenchSuite([]string{"stats-window"}, "", map[string]float64{"core-tick": 2}, false); code != 2 {
 		t.Fatalf("threshold for unselected benchmark: exit %d, want 2", code)
 	}
-	if code := runBenchSuite([]string{"no-such-bench"}, "", nil); code != 2 {
+	if code := runBenchSuite([]string{"no-such-bench"}, "", nil, false); code != 2 {
 		t.Fatalf("unknown benchmark name: exit %d, want 2", code)
 	}
 	// Duplicates would run twice and emit duplicate row labels, which the
 	// report diff semantics treat as a structural mismatch.
-	if code := runBenchSuite([]string{"stats-window", "stats-window"}, "", nil); code != 2 {
+	if code := runBenchSuite([]string{"stats-window", "stats-window"}, "", nil, false); code != 2 {
 		t.Fatalf("duplicate benchmark name: exit %d, want 2", code)
+	}
+}
+
+// writeBenchFile records a minimal BENCH campaign file with the given
+// benchmark allocs/op values, mirroring what `firmbench -bench -json` emits.
+func writeBenchFile(t *testing.T, path string, allocs map[string]float64) {
+	t.Helper()
+	rep := report.New("bench")
+	labels := make([]string, 0, len(allocs))
+	for l := range allocs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		rep.Row(l).Val("ns-op", "ns", 1000).Val("allocs-op", "allocs", allocs[l]).Val("bytes-op", "B", 0)
+	}
+	c := &report.Campaign{Tool: "firmbench", Scale: "bench", Seed: perf.Seed}
+	c.Merge(rep, 0)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Encode(f, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenchTrendTableAndGate covers -bench-trend end to end: numeric-aware
+// column ordering, the rendered trajectory, and the allocs/op gate against
+// the best recorded run.
+func TestBenchTrendTableAndGate(t *testing.T) {
+	dir := t.TempDir()
+	// Out-of-order names: numeric history must sort 2 < 10, ad-hoc names
+	// (BENCH_ci) after.
+	p2 := filepath.Join(dir, "BENCH_2.json")
+	p10 := filepath.Join(dir, "BENCH_10.json")
+	pci := filepath.Join(dir, "BENCH_ci.json")
+	writeBenchFile(t, p2, map[string]float64{"core-tick": 5, "stats-window": 2})
+	writeBenchFile(t, p10, map[string]float64{"core-tick": 0})
+	writeBenchFile(t, pci, map[string]float64{"core-tick": 0})
+
+	var out strings.Builder
+	if code := runBenchTrend(&out, []string{p10, pci, p2}, nil); code != 0 {
+		t.Fatalf("trend over recorded files: exit %d, want 0\n%s", code, out.String())
+	}
+	text := out.String()
+	i2, i10, ici := strings.Index(text, "BENCH_2"), strings.Index(text, "BENCH_10"), strings.Index(text, "BENCH_ci")
+	if i2 < 0 || i10 < 0 || ici < 0 || !(i2 < i10 && i10 < ici) {
+		t.Fatalf("columns not in numeric-then-adhoc order:\n%s", text)
+	}
+	if !strings.Contains(text, "stats-window") || !strings.Contains(text, "-") {
+		t.Fatalf("benchmark missing from a run must render as '-':\n%s", text)
+	}
+
+	// Current run matching the best recorded allocs/op passes; exceeding the
+	// best recorded run (even while beating a worse older one) fails.
+	pass := []perf.Result{{Name: "core-tick", NsPerOp: 900, AllocsPerOp: 0}}
+	if code := runBenchTrend(&strings.Builder{}, []string{p2, p10}, pass); code != 0 {
+		t.Fatalf("non-regressing current run: exit %d, want 0", code)
+	}
+	regress := []perf.Result{{Name: "core-tick", NsPerOp: 900, AllocsPerOp: 3}}
+	if code := runBenchTrend(&strings.Builder{}, []string{p2, p10}, regress); code != 1 {
+		t.Fatalf("allocs regression vs best recorded run: exit %d, want 1", code)
+	}
+	// A benchmark with no recorded history cannot regress.
+	fresh := []perf.Result{{Name: "brand-new", NsPerOp: 1, AllocsPerOp: 99}}
+	if code := runBenchTrend(&strings.Builder{}, []string{p2}, fresh); code != 0 {
+		t.Fatalf("benchmark without history: exit %d, want 0", code)
+	}
+	// Unreadable or non-bench files are flag misuse, not a silent pass.
+	if code := runBenchTrend(&strings.Builder{}, []string{filepath.Join(dir, "missing.json")}, nil); code != 2 {
+		t.Fatal("missing trend file must exit 2")
 	}
 }

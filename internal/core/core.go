@@ -22,7 +22,6 @@ import (
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/telemetry"
-	"firm/internal/trace"
 	"firm/internal/tracedb"
 )
 
@@ -385,11 +384,12 @@ type Controller struct {
 	// mon mirrors the trace store's current window incrementally (fed by
 	// tracedb's observer stream), so the per-tick violation check and P99
 	// measurement are O(log W) and allocation-free instead of re-selecting
-	// and re-sorting the window. winBuf is the reusable selection buffer
-	// for the violated path, which still needs the trace list for
-	// localization.
-	mon    *detect.Monitor
-	winBuf []*trace.Trace
+	// and re-sorting the window. loc does the same for the violated path's
+	// localization features: per-instance (RI, CI) state is maintained as
+	// traces arrive and expire, so a violated tick scores candidates
+	// without re-selecting the window or re-extracting critical paths.
+	mon *detect.Monitor
+	loc *detect.Localizer
 
 	violationSince sim.Time
 	inViolation    bool
@@ -430,9 +430,11 @@ func New(cfg Config, a *app.App, db *tracedb.Store, col *telemetry.Collector,
 		sb:  &agent.StateBuilder{Col: col, Meter: meter, SLO: a.SLO},
 		mon: detect.NewMonitor(256),
 	}
+	c.loc = detect.NewLocalizer(ext, 256)
 	// Observe replays traces already stored, so attaching a controller
 	// mid-workload sees the same window a fresh Select would.
 	db.Observe(c.mon)
+	db.Observe(c.loc)
 	c.ticker = sim.NewTicker(c.eng, cfg.Interval, c.tick)
 	return c
 }
@@ -543,6 +545,9 @@ func (c *Controller) tick() {
 	// added as they completed, and expire here. Bit-identical to the batch
 	// path (detect.Violated + stats.Percentile over a fresh Select).
 	c.mon.Advance(now - c.cfg.Window)
+	// Advance the localizer every tick too (cheap ring pops): its pending
+	// state must stay bounded by the window even across calm stretches.
+	c.loc.Advance(now - c.cfg.Window)
 	violated := c.mon.Violated(c.app.SLO)
 	// One P99 measurement per tick: reward bookkeeping, pending-transition
 	// flush, and the actuation loop below all reuse it (the window cannot
@@ -589,11 +594,11 @@ func (c *Controller) tick() {
 	}
 
 	// Localize culprits (Alg. 2) and actuate RL decisions on the top-K.
-	// Localization needs the trace list itself; the selection reuses one
-	// buffer across ticks and only runs on violated ticks.
-	c.winBuf = c.db.SelectAppend(c.winBuf[:0], tracedb.Query{Since: now - c.cfg.Window, IncludeDrop: true})
-	window := c.winBuf
-	cands := c.ext.Candidates(window)
+	// The incremental localizer already mirrors the window; it folds in any
+	// traces that arrived since the last violated tick (each extracted
+	// once) and rescores — bit-identical to the batch
+	// ext.Candidates(Select(window)) it replaces.
+	cands := c.loc.Candidates()
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
 	anyCritical := false
 	for _, cand := range cands {

@@ -1,0 +1,359 @@
+package detect
+
+import (
+	"math"
+	"slices"
+	"strings"
+
+	"firm/internal/cpath"
+	"firm/internal/sim"
+	"firm/internal/stats"
+	"firm/internal/svm"
+	"firm/internal/trace"
+)
+
+// Localizer is the incremental counterpart of Extractor.Features/Candidates:
+// it mirrors the trace store's current window as per-instance feature state
+// — span-duration order statistics in a stats.Window, CP-correlation pairs
+// in arrival-order rings — so the control loop's violated tick no longer
+// re-selects the window, re-extracts every critical path, and rebuilds
+// per-instance maps from scratch. Feed it as a tracedb.Observer; the owner
+// advances the window bound each tick with Advance.
+//
+// Candidates is bit-identical to the batch path it replaces
+// (Extractor.Candidates over a fresh Query{Since, IncludeDrop: true}
+// selection): per-instance appends happen in the same trace/span order the
+// batch loop used, percentiles come from stats.Window (bit-equal to
+// stats.Percentile), and Pearson replicates stats.Pearson's summation order
+// over the same sequences.
+//
+// Critical-path extraction is lazy: stored traces enter a cheap pending
+// ring and are folded into per-instance state only when Candidates needs
+// them, each exactly once. Calm stretches (no violated ticks) pay nothing
+// beyond ring pushes/pops; a burst of consecutive violated ticks extracts
+// each trace's CP once instead of once per tick.
+//
+// Like Monitor, a Localizer is single-goroutine state owned by one
+// controller. It must NOT hang off a shared Extractor: extractors are
+// deliberately read-only so rollout workers can share them — the Localizer
+// only reads the shared SVM through its private Scorer.
+type Localizer struct {
+	cfg    Config
+	scorer *svm.Scorer
+
+	// entries is a growable ring of in-window non-dropped traces in consume
+	// order (= End order). The first proc entries (from head) have been
+	// folded into per-instance state; the rest are pending.
+	entries []locEntry
+	head, n int
+	proc    int
+
+	insts map[string]*locInst
+
+	// Per-trace processing scratch, reused across traces.
+	onCP    map[string]sim.Time
+	touched []*locInst
+	seq     uint64
+
+	// Candidates scratch, reused across calls.
+	out    []Candidate
+	featB  []float64
+	scores []float64
+}
+
+// locEntry is one in-window trace with the per-instance contributions its
+// processing appended, so eviction removes exactly the same observations.
+type locEntry struct {
+	t        *trace.Trace
+	end      sim.Time
+	contribs []locContrib
+	done     bool
+}
+
+// locContrib records one trace's appends to one instance's series.
+type locContrib struct {
+	st    *locInst
+	durs  int32 // span self-durations appended
+	pairs int32 // (perTrace, cpLats) pairs appended
+	nonBg int32 // non-background span appearances
+}
+
+// locInst is one instance's windowed feature state.
+type locInst struct {
+	instance string
+	service  string
+	nonBg    int // non-background span appearances in window
+
+	durWin  *stats.Window // span self-durations, order statistics
+	durVals floatRing     // same values in arrival order (for eviction)
+	px, py  floatRing     // (perTrace, cpLats) pairs in arrival order
+
+	// Per-trace scratch owned by the processing loop.
+	touchSeq                     uint64
+	pendDur, pendPair, pendNonBg int32
+}
+
+// NewLocalizer builds an incremental localizer sharing e's configuration
+// and (read-only) SVM. The capacity hint presizes the trace ring.
+func NewLocalizer(e *Extractor, capHint int) *Localizer {
+	if capHint < 16 {
+		capHint = 16
+	}
+	return &Localizer{
+		cfg:     e.cfg,
+		scorer:  e.svm.NewScorer(),
+		entries: make([]locEntry, capHint),
+		insts:   map[string]*locInst{},
+		onCP:    map[string]sim.Time{},
+	}
+}
+
+// TraceStored implements tracedb.Observer. Dropped traces never contribute
+// features (the batch loop skips them), so they are not tracked at all.
+func (l *Localizer) TraceStored(t *trace.Trace) {
+	if t.Dropped {
+		return
+	}
+	l.push(t)
+}
+
+// TraceEvicted implements tracedb.Observer: the store's ring dropped its
+// oldest trace. Evictions arrive in consume order, so the only candidate is
+// our front entry (dropped traces were never tracked and simply miss).
+func (l *Localizer) TraceEvicted(t *trace.Trace) {
+	if l.n > 0 && l.entries[l.head].t == t {
+		l.pop()
+	}
+}
+
+// Advance expires entries whose trace ended before since — the incremental
+// equivalent of re-selecting Query{Since: since}. Call it every tick (not
+// only violated ones) so pending state stays bounded by the window.
+func (l *Localizer) Advance(since sim.Time) {
+	for l.n > 0 && l.entries[l.head].end < since {
+		l.pop()
+	}
+}
+
+// Len returns the number of in-window (non-dropped) traces.
+func (l *Localizer) Len() int { return l.n }
+
+func (l *Localizer) push(t *trace.Trace) {
+	if l.n == len(l.entries) {
+		grown := make([]locEntry, 2*len(l.entries))
+		for i := 0; i < l.n; i++ {
+			grown[i] = l.entries[(l.head+i)%len(l.entries)]
+		}
+		l.entries = grown
+		l.head = 0
+	}
+	e := &l.entries[(l.head+l.n)%len(l.entries)]
+	e.t = t
+	e.end = t.End
+	e.contribs = e.contribs[:0] // keep capacity from the slot's last tenant
+	e.done = false
+	l.n++
+}
+
+func (l *Localizer) pop() {
+	e := &l.entries[l.head]
+	if e.done {
+		for _, c := range e.contribs {
+			st := c.st
+			for k := int32(0); k < c.durs; k++ {
+				st.durWin.Remove(st.durVals.pop())
+			}
+			for k := int32(0); k < c.pairs; k++ {
+				st.px.pop()
+				st.py.pop()
+			}
+			st.nonBg -= int(c.nonBg)
+		}
+		l.proc--
+	}
+	e.t = nil // release the trace for GC
+	e.contribs = e.contribs[:0]
+	l.head = (l.head + 1) % len(l.entries)
+	l.n--
+}
+
+func (l *Localizer) inst(name, service string) *locInst {
+	st, ok := l.insts[name]
+	if !ok {
+		st = &locInst{instance: name, service: service, durWin: stats.NewWindow(64)}
+		l.insts[name] = st
+	}
+	return st
+}
+
+// touch marks st as contributing to the trace being processed.
+func (l *Localizer) touch(st *locInst) *locInst {
+	if st.touchSeq != l.seq {
+		st.touchSeq = l.seq
+		st.pendDur, st.pendPair, st.pendNonBg = 0, 0, 0
+		l.touched = append(l.touched, st)
+	}
+	return st
+}
+
+// process folds one trace into per-instance state, appending to each series
+// in exactly the order Extractor.Features would have: self-durations per
+// span in span order, then the instance's aggregated on-CP pair, then one
+// pair per background span in span order. Per-series order is all that
+// matters for bitwise equality — different instances' series are disjoint
+// accumulators.
+func (l *Localizer) process(e *locEntry) {
+	t := e.t
+	l.seq++
+	l.touched = l.touched[:0]
+
+	p := cpath.Extract(t)
+	clear(l.onCP)
+	for _, s := range p.Spans {
+		l.onCP[s.Instance] += t.SelfDuration(s)
+	}
+	e2e := t.Latency().Millis()
+	for _, s := range t.Spans {
+		st := l.touch(l.inst(s.Instance, s.Service))
+		d := t.SelfDuration(s).Millis()
+		st.durVals.push(d)
+		st.durWin.Add(d)
+		st.pendDur++
+		if !s.Background {
+			st.nonBg++
+			st.pendNonBg++
+		}
+	}
+	for inst, d := range l.onCP {
+		st := l.insts[inst]
+		st.px.push(d.Millis())
+		st.py.push(e2e)
+		st.pendPair++
+	}
+	for _, s := range t.Spans {
+		if s.Background {
+			st := l.insts[s.Instance]
+			st.px.push(t.SelfDuration(s).Millis())
+			st.py.push(e2e)
+			st.pendPair++
+		}
+	}
+	for _, st := range l.touched {
+		e.contribs = append(e.contribs, locContrib{
+			st: st, durs: st.pendDur, pairs: st.pendPair, nonBg: st.pendNonBg,
+		})
+	}
+	e.done = true
+}
+
+// Candidates folds any pending traces into per-instance state, then scores
+// every qualifying instance — output identical to
+// Extractor.Candidates(Select(window)). The returned slice is reused across
+// calls; copy if retained.
+func (l *Localizer) Candidates() []Candidate {
+	for l.proc < l.n {
+		l.process(&l.entries[(l.head+l.proc)%len(l.entries)])
+		l.proc++
+	}
+
+	l.out = l.out[:0]
+	for _, st := range l.insts {
+		if st.durVals.len() < l.cfg.MinSamples || st.px.len() < l.cfg.MinSamples {
+			continue
+		}
+		if st.nonBg == 0 && !l.cfg.IncludeBackground {
+			continue
+		}
+		ri := pearsonRings(&st.px, &st.py)
+		t50 := st.durWin.Percentile(50)
+		t99 := st.durWin.Percentile(99)
+		ci := 1.0
+		if t50 > 0 {
+			ci = t99 / t50
+		}
+		l.out = append(l.out, Candidate{Instance: st.instance, Service: st.service, RI: ri, CI: ci})
+	}
+	// Instance keys are unique, so the unstable sort is total — same order
+	// as the batch path's sort.
+	slices.SortFunc(l.out, func(a, b Candidate) int { return strings.Compare(a.Instance, b.Instance) })
+
+	nb := len(l.out)
+	if cap(l.featB) < 2*nb {
+		l.featB = make([]float64, 2*nb)
+		l.scores = make([]float64, nb)
+	}
+	featB, scores := l.featB[:2*nb], l.scores[:nb]
+	for i := range l.out {
+		featB[2*i] = l.out[i].RI
+		featB[2*i+1] = l.out[i].CI / l.cfg.CIScale
+	}
+	// A dimension mismatch leaves every score zero — exactly the batch
+	// path's per-candidate skip (the shared featVec shape fails for all
+	// candidates or none).
+	if err := l.scorer.DecisionBatch(featB, nb, scores); err == nil {
+		for i := range l.out {
+			l.out[i].Score = scores[i]
+			l.out[i].Critical = scores[i] > 0
+		}
+	}
+	return l.out
+}
+
+// pearsonRings replicates stats.Pearson — same two-pass summation order —
+// over ring-ordered pair series. Series are non-empty (MinSamples gates
+// callers) and equal-length by construction, so only the constant-input
+// zero case survives from the batch path's error handling.
+func pearsonRings(xs, ys *floatRing) float64 {
+	n := xs.len()
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs.at(i)
+	}
+	for i := 0; i < n; i++ {
+		sy += ys.at(i)
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs.at(i)-mx, ys.at(i)-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// floatRing is a growable FIFO of float64 observations with indexed access
+// in arrival order.
+type floatRing struct {
+	buf  []float64
+	head int
+	n    int
+}
+
+func (r *floatRing) len() int { return r.n }
+
+func (r *floatRing) at(i int) float64 { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *floatRing) push(v float64) {
+	if r.n == len(r.buf) {
+		grown := make([]float64, 2*len(r.buf)+16)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.at(i)
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *floatRing) pop() float64 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}

@@ -1,0 +1,162 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"firm/internal/sim"
+	"firm/internal/trace"
+	"firm/internal/tracedb"
+)
+
+// streamTrace synthesizes one multi-span trace ending at now: root → A → B
+// with a second A instance sometimes, an occasional background span, and
+// occasional drops — every structural case Features handles.
+func streamTrace(i int, now sim.Time, r *rand.Rand) *trace.Trace {
+	id := trace.TraceID(i + 1)
+	aDur := sim.FromMillis(10 + r.Float64()*2)
+	if r.Float64() < 0.2 {
+		aDur = sim.FromMillis(80 + r.Float64()*40)
+	}
+	bDur := sim.FromMillis(20 + r.Float64()*0.5)
+	start := now - aDur - bDur - sim.FromMillis(2.2)
+	aStart := start + sim.FromMillis(1)
+	aEnd := aStart + aDur
+	bStart := aEnd + sim.FromMillis(0.2)
+	bEnd := bStart + bDur
+	aInst := "A-1"
+	if r.Intn(3) == 0 {
+		aInst = "A-2"
+	}
+	tr := &trace.Trace{
+		ID: id, Type: "req",
+		Start: start, End: now,
+		Dropped: r.Intn(15) == 0,
+		Spans: []trace.Span{
+			{Trace: id, ID: 1, Parent: 0, Service: "root", Instance: "root-1", Start: start, End: now},
+			{Trace: id, ID: 2, Parent: 1, Service: "A", Instance: aInst, Start: aStart, End: aEnd},
+			{Trace: id, ID: 3, Parent: 1, Service: "B", Instance: "B-1", Start: bStart, End: bEnd},
+		},
+	}
+	if r.Intn(4) == 0 {
+		tr.Spans = append(tr.Spans, trace.Span{
+			Trace: id, ID: 4, Parent: 1, Service: "gc", Instance: "gc-1",
+			Start: aStart, End: aStart + sim.FromMillis(3+r.Float64()*aDur.Millis()),
+			Background: true,
+		})
+	}
+	return tr
+}
+
+func sameCand(a, b Candidate) bool {
+	feq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y) || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return a.Instance == b.Instance && a.Service == b.Service &&
+		feq(a.RI, b.RI) && feq(a.CI, b.CI) && feq(a.Score, b.Score) && a.Critical == b.Critical
+}
+
+// TestLocalizerMatchesBatchCandidates streams randomized span-bearing
+// traces through a small tracedb ring (forcing ring evictions as well as
+// time expiry) and pins the incremental Candidates against the batch
+// Extractor.Candidates over a fresh Select at every step — field-for-field,
+// bit-for-bit. This is the invariant that lets the controller's violated
+// tick run incrementally without changing a byte of campaign output.
+func TestLocalizerMatchesBatchCandidates(t *testing.T) {
+	const (
+		ringCap = 48
+		window  = 2 * sim.Second
+	)
+	e := newExtractor(t)
+	db := tracedb.New(ringCap)
+	loc := NewLocalizer(e, 4)
+	db.Observe(loc)
+
+	r := rand.New(rand.NewSource(17))
+	now := sim.Time(0)
+	checked := 0
+	for i := 0; i < 1200; i++ {
+		now += sim.Time(5+r.Intn(40)) * sim.Millisecond
+		db.Consume(streamTrace(i, now, r))
+
+		since := now - window
+		loc.Advance(since)
+		// Check every few steps (and always late in the stream) so both
+		// the freshly-pending and the deep steady state are covered.
+		if i%7 != 0 && i < 1100 {
+			continue
+		}
+		checked++
+		batch := db.Select(tracedb.Query{Since: since, IncludeDrop: true})
+		want := e.Candidates(batch)
+		got := loc.Candidates()
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d candidates, batch %d\n got: %+v\nwant: %+v", i, len(got), len(want), got, want)
+		}
+		for j := range got {
+			if !sameCand(got[j], want[j]) {
+				t.Fatalf("step %d candidate %d:\n got: %+v\nwant: %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if checked == 0 || loc.Len() == 0 {
+		t.Fatal("stream never exercised the comparison")
+	}
+}
+
+// TestLocalizerObserveReplaysExistingTraces: attaching after the workload
+// started must converge to the same state as a fresh Select.
+func TestLocalizerObserveReplaysExistingTraces(t *testing.T) {
+	e := newExtractor(t)
+	db := tracedb.New(64)
+	r := rand.New(rand.NewSource(23))
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now += sim.Time(10+r.Intn(20)) * sim.Millisecond
+		db.Consume(streamTrace(i, now, r))
+	}
+	loc := NewLocalizer(e, 4)
+	db.Observe(loc)
+	since := now - 2*sim.Second
+	loc.Advance(since)
+	batch := db.Select(tracedb.Query{Since: since, IncludeDrop: true})
+	want := e.Candidates(batch)
+	got := loc.Candidates()
+	if len(got) != len(want) {
+		t.Fatalf("replayed attach: %d candidates, batch %d", len(got), len(want))
+	}
+	for j := range got {
+		if !sameCand(got[j], want[j]) {
+			t.Fatalf("replayed candidate %d: %+v want %+v", j, got[j], want[j])
+		}
+	}
+}
+
+// TestLocalizerSteadyStateAllocFree pins the detect-features benchmark's
+// claim: with the window quiescent (everything already folded in), an
+// advance + Candidates tick allocates nothing.
+func TestLocalizerSteadyStateAllocFree(t *testing.T) {
+	e := newExtractor(t)
+	db := tracedb.New(256)
+	loc := NewLocalizer(e, 4)
+	db.Observe(loc)
+	r := rand.New(rand.NewSource(29))
+	now := sim.Time(0)
+	for i := 0; i < 400; i++ {
+		now += sim.Time(2+r.Intn(6)) * sim.Millisecond
+		db.Consume(streamTrace(i, now, r))
+	}
+	since := now - sim.Second
+	loc.Advance(since)
+	if got := loc.Candidates(); len(got) == 0 {
+		t.Fatal("warmup produced no candidates; scenario too small")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		loc.Advance(since)
+		loc.Candidates()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", allocs)
+	}
+}

@@ -1,0 +1,137 @@
+// AVX batched-forward kernel. Bit-reproducibility contract: every output
+// neuron's pre-activation is one accumulator chain, seeded from its bias and
+// summed in ascending input order with a separate multiply and add per step
+// (VMULPD then VADDPD — never FMA, whose single rounding would diverge from
+// the per-sample reference). A 4-lane ymm register holds 4 *independent*
+// chains (outputs o..o+3); vectorizing across outputs never reorders or
+// reassociates any single chain, so each lane is bit-identical to the scalar
+// 4-wide blocked loop in forwardBatch, which is itself bit-identical to the
+// per-sample forward loop.
+
+#include "textflag.h"
+
+// func hasAVXAsm() bool
+//
+// CPUID leaf 1 ECX: bit 28 = AVX, bit 27 = OSXSAVE; then XGETBV xcr0 bits
+// 2:1 confirm the OS actually saves ymm state. 0x18000000 = both CPUID bits.
+TEXT ·hasAVXAsm(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  notavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  notavx
+	MOVB $1, ret+0(FP)
+	RET
+
+notavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func forwardRowAVX(x, wt, b, y *float64, in, out, out4 int)
+//
+// Computes y[o] = b[o] + Σ_i x[i]*wt[i*out+o] for o in [0, out4), out4 a
+// multiple of 4. wt is the weight matrix transposed to input-major so the 4
+// (or 8, 16) chains read one contiguous vector per input step. Outputs are
+// processed in ascending order in groups of 16/8/4 — group width only sets
+// how many independent chains run concurrently (hiding FP-add latency), the
+// per-chain operation sequence is identical across widths. The caller
+// handles o >= out4 with the scalar loop.
+TEXT ·forwardRowAVX(SB), NOSPLIT, $0-56
+	MOVQ x+0(FP), SI
+	MOVQ wt+8(FP), DI
+	MOVQ b+16(FP), R8
+	MOVQ y+24(FP), R9
+	MOVQ in+32(FP), CX
+	MOVQ out+40(FP), R10
+	MOVQ out4+48(FP), R12
+	SHLQ $3, R10             // transposed row stride, bytes
+	XORQ R13, R13            // o = 0
+
+grp16:
+	MOVQ R12, R14
+	SUBQ R13, R14
+	CMPQ R14, $16
+	JLT  grp8
+	VMOVUPD (R8)(R13*8), Y0  // 16 chains seeded from B[o:o+16]
+	VMOVUPD 32(R8)(R13*8), Y1
+	VMOVUPD 64(R8)(R13*8), Y2
+	VMOVUPD 96(R8)(R13*8), Y3
+	LEAQ (DI)(R13*8), BX     // &wt[o]
+	MOVQ SI, DX              // &x[0]
+	MOVQ CX, AX              // i = in down to 0
+
+i16:
+	VBROADCASTSD (DX), Y4
+	VMULPD (BX), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	VMULPD 32(BX), Y4, Y5
+	VADDPD Y5, Y1, Y1
+	VMULPD 64(BX), Y4, Y5
+	VADDPD Y5, Y2, Y2
+	VMULPD 96(BX), Y4, Y5
+	VADDPD Y5, Y3, Y3
+	ADDQ $8, DX
+	ADDQ R10, BX
+	DECQ AX
+	JNE  i16
+	VMOVUPD Y0, (R9)(R13*8)
+	VMOVUPD Y1, 32(R9)(R13*8)
+	VMOVUPD Y2, 64(R9)(R13*8)
+	VMOVUPD Y3, 96(R9)(R13*8)
+	ADDQ $16, R13
+	JMP  grp16
+
+grp8:
+	CMPQ R14, $8
+	JLT  grp4
+	VMOVUPD (R8)(R13*8), Y0
+	VMOVUPD 32(R8)(R13*8), Y1
+	LEAQ (DI)(R13*8), BX
+	MOVQ SI, DX
+	MOVQ CX, AX
+
+i8:
+	VBROADCASTSD (DX), Y4
+	VMULPD (BX), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	VMULPD 32(BX), Y4, Y5
+	VADDPD Y5, Y1, Y1
+	ADDQ $8, DX
+	ADDQ R10, BX
+	DECQ AX
+	JNE  i8
+	VMOVUPD Y0, (R9)(R13*8)
+	VMOVUPD Y1, 32(R9)(R13*8)
+	ADDQ $8, R13
+
+grp4:
+	MOVQ R12, R14
+	SUBQ R13, R14
+	CMPQ R14, $4
+	JLT  done
+	VMOVUPD (R8)(R13*8), Y0
+	LEAQ (DI)(R13*8), BX
+	MOVQ SI, DX
+	MOVQ CX, AX
+
+i4:
+	VBROADCASTSD (DX), Y4
+	VMULPD (BX), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	ADDQ $8, DX
+	ADDQ R10, BX
+	DECQ AX
+	JNE  i4
+	VMOVUPD Y0, (R9)(R13*8)
+	ADDQ $4, R13
+	JMP  grp4
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds always take the pure-Go blocked loop in forwardBatch;
+// the constant lets the compiler drop the kernel branch entirely.
+const useAVX = false
+
+func (l *layer) forwardBatchMatmul(xb, yb []float64, nb int) {
+	panic("nn: AVX kernel unavailable on this architecture")
+}
+
+func (l *layer) backwardBatchAVX(gyb, gxb []float64, nb int, needGrow, needGx bool) {
+	panic("nn: AVX kernel unavailable on this architecture")
+}

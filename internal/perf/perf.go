@@ -1,11 +1,13 @@
 // Package perf is firmbench's microbenchmark registry: deterministic
 // benchmarks of the hot paths the campaign loop multiplies — the
 // controller tick, the sliding tail-latency window, trace-window
-// selection, telemetry sampling, and the DDPG train step. `firmbench
-// -bench` runs them and records the results as a canonical BENCH_*.json
-// (internal/report floats), which is how the repo's perf trajectory is
-// tracked across PRs; `go test -bench` exposes the same functions as
-// ordinary benchmarks (bench_test.go).
+// selection, telemetry sampling, the batched DDPG train step (with its
+// retained per-sample reference), the incremental localization features,
+// and a double-buffered rollout round. `firmbench -bench` runs them and
+// records the results as a canonical BENCH_*.json (internal/report
+// floats), which is how the repo's perf trajectory is tracked across PRs
+// (`firmbench -bench-trend` tabulates it); `go test -bench` exposes the
+// same functions as ordinary benchmarks (bench_test.go).
 //
 // Wall-clock (ns/op) varies by machine, but allocs/op, bytes/op, and the
 // comparison counts are exact and deterministic — those are the regression
@@ -19,7 +21,9 @@ import (
 	"firm/internal/core"
 	"firm/internal/detect"
 	"firm/internal/harness"
+	"firm/internal/nn"
 	"firm/internal/rl"
+	"firm/internal/rollout"
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/topology"
@@ -46,7 +50,11 @@ func Benchmarks() []Benchmark {
 		{"stats-window", "stats.Window insert+evict+P99 at W=1024", StatsWindow},
 		{"tracedb-select", "tracedb.SelectAppend of a 2s window from a 200k-capacity ring", TracedbSelect},
 		{"telemetry-add", "telemetry ring add at full retention", TelemetryAdd},
-		{"nn-train-step", "one DDPG TrainStep (batch 64, Table 4 nets)", NNTrainStep},
+		{"nn-forward-batch", "one batched actor forward (batch 64, Table 4 shape)", NNForwardBatch},
+		{"rl-train-step-batched", "one DDPG TrainStep on the matrix minibatch path (batch 64, Table 4 nets)", RLTrainStepBatched},
+		{"rl-train-step-seq", "the replaced per-sample TrainStep, kept as the speedup reference", RLTrainStepSeq},
+		{"detect-features", "incremental localizer rescore at steady state (the violated-tick path)", DetectFeatures},
+		{"rollout-round-overlap", "one double-buffered rollout campaign: 2 actors + streaming learner", RolloutRoundOverlap},
 	}
 }
 
@@ -253,9 +261,10 @@ func TelemetryAdd(b *testing.B) {
 	}
 }
 
-// NNTrainStep measures one DDPG update: minibatch sample, critic
-// regression, actor ascent, soft target updates (Table 4 network shapes).
-func NNTrainStep(b *testing.B) {
+// newTrainAgent builds the Table-4 agent with a filled replay buffer shared
+// by the train-step benchmarks, so batched and sequential runs measure the
+// same minibatch distribution.
+func newTrainAgent() *rl.Agent {
 	cfg := rl.DefaultConfig()
 	cfg.Seed = Seed
 	cfg.ActorDelay = 0
@@ -274,6 +283,14 @@ func NNTrainStep(b *testing.B) {
 			R: r.Float64(), S2: mkvec(cfg.StateDim), Done: i%64 == 63,
 		})
 	}
+	return ag
+}
+
+// RLTrainStepBatched measures one DDPG update on the matrix minibatch path:
+// minibatch sample, batched critic regression, batched actor ascent, soft
+// target updates (Table 4 network shapes, batch 64).
+func RLTrainStepBatched(b *testing.B) {
+	ag := newTrainAgent()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -283,4 +300,114 @@ func NNTrainStep(b *testing.B) {
 			panic("perf: TrainStep skipped: buffer underfilled")
 		}
 	}
+}
+
+// RLTrainStepSeq measures the per-sample TrainStep the batched path
+// replaced. It is retained (rl.TrainStepSequential) precisely so this
+// reference point stays honest: the batched/sequential ns/op ratio in
+// BENCH_*.json is the minibatch optimization's receipt.
+func RLTrainStepSeq(b *testing.B) {
+	ag := newTrainAgent()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ag.TrainStepSequential(); !ok {
+			panic("perf: TrainStepSequential skipped: buffer underfilled")
+		}
+	}
+}
+
+// NNForwardBatch measures one batched forward through the paper's actor
+// shape (8→40→40→5) at batch 64 — the building block both TrainStep phases
+// and PretrainActor lean on. Steady state is allocation-free: the batch
+// scratch is owned by the net and only the caller's input matrix varies.
+func NNForwardBatch(b *testing.B) {
+	const batch = 64
+	r := sim.Stream(Seed, "perf-nn-forward")
+	net := nn.New(r, []int{8, 40, 40, 5}, []nn.Activation{nn.ReLU, nn.ReLU, nn.Tanh})
+	xb := make([]float64, batch*8)
+	for i := range xb {
+		xb[i] = 2*r.Float64() - 1
+	}
+	net.ForwardBatch(xb, batch) // size the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(xb, batch)
+	}
+	b.StopTimer()
+	b.ReportMetric(batch, "rows/op")
+}
+
+// DetectFeatures measures a violated tick's localization cost on the
+// incremental path: with the window mirrored and folded, one op is
+// Advance (no-op pops) plus a full Candidates rescore — per-instance
+// Pearson over the pair rings, windowed percentiles, and SVM scoring.
+// Steady state is allocation-free.
+func DetectFeatures(b *testing.B) {
+	bed := newTickBed()
+	loc := detect.NewLocalizer(harness.NewExtractor(Seed), 256)
+	bed.tb.DB.Observe(loc) // replays the populated ring
+	since := bed.tb.Eng.Now() - core.DefaultConfig().Window
+	loc.Advance(since)
+	if len(loc.Candidates()) == 0 {
+		panic("perf: detect-features testbed produced no candidates")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc.Advance(since)
+		loc.Candidates()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(loc.Len()), "window")
+}
+
+// RolloutRoundOverlap measures one double-buffered rollout campaign — two
+// rounds of four synthetic episodes on two actor replicas with the learner
+// replaying completed episodes concurrently (rollout's default mode). It
+// exercises snapshot publication, replica sync, streaming replay, and the
+// batched TrainStep together: the end-to-end training inner loop.
+func RolloutRoundOverlap(b *testing.B) {
+	cfg := rl.DefaultConfig()
+	cfg.Seed = Seed
+	learner := core.SharedAgent{A: rl.New(cfg)}
+	runEp := func(ep int, prov core.AgentProvider, sink core.TransitionSink) (float64, error) {
+		r := sim.Stream(Seed, fmt.Sprintf("perf-rollout/ep%d", ep))
+		state := make([]float64, cfg.StateDim)
+		for i := range state {
+			state[i] = r.Float64()
+		}
+		var total float64
+		const steps = 24
+		for step := 0; step < steps; step++ {
+			ag := prov.AgentFor("svc")
+			act := ag.ActExplore(state)
+			var reward float64
+			for _, a := range act {
+				reward -= a * a
+			}
+			next := make([]float64, len(state))
+			for i := range next {
+				next[i] = 0.9*state[i] + 0.1*act[i%len(act)] + 0.02*r.Float64()
+			}
+			sink("svc", rl.Transition{S: state, A: act, R: reward, S2: next, Done: step == steps-1})
+			total += reward
+			state = next
+		}
+		return total, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rollout.Run(rollout.Options{
+			Episodes: 8, Workers: 2, SyncEvery: 4,
+			Seed: Seed, Key: fmt.Sprintf("perf-overlap/%d", i),
+			Learner: learner, RunEpisode: runEp,
+		}); err != nil {
+			panic(fmt.Sprintf("perf: rollout campaign failed: %v", err))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(8, "episodes/op")
 }

@@ -11,6 +11,7 @@ package rl
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"firm/internal/nn"
@@ -184,7 +185,35 @@ type Agent struct {
 	targets []float64
 	in      []float64
 	gact    []float64
+	ginSeq  []float64
 	gout    [1]float64
+
+	// Batched-path scratch: row-major [batch×dim] matrices fed to the nn
+	// batch path. Grown once, then reused for the life of the agent.
+	s2B   []float64 // next states
+	tinB  []float64 // target-critic inputs [s2 ‖ π'(s2)]
+	inB   []float64 // critic inputs [s ‖ a] (reused for [s ‖ π(s)])
+	sB    []float64 // states
+	gyB   []float64 // per-row output gradients (critic head is 1-wide)
+	gactB []float64 // per-row actor output gradients
+}
+
+// growF returns s resized to n floats, reallocating only when capacity is
+// exceeded. Contents are unspecified; callers overwrite every element.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// gatherRow copies src into dst[off:off+want], panicking on a dimension
+// mismatch exactly where the per-sample path's nn.Forward would have.
+func gatherRow(dst []float64, off int, src []float64, want int, what string) {
+	if len(src) != want {
+		panic(fmt.Sprintf("rl: %s dim %d, want %d", what, len(src), want))
+	}
+	copy(dst[off:off+want], src)
 }
 
 // New creates a DDPG agent (Alg. 3 lines 1-3: random init, target copies,
@@ -281,7 +310,116 @@ func (a *Agent) Q(state, action []float64) float64 {
 // minibatch, regress the critic toward the bootstrapped target, ascend the
 // actor along dQ/da, then soft-update both target networks. It returns the
 // minibatch critic loss and false when the buffer has too few samples.
+//
+// The minibatch runs through nn's matrix-at-a-time batch path. Results are
+// bit-identical to TrainStepSequential, the retained per-sample reference:
+// both consume the same RNG stream (one SampleInto draw) and accumulate
+// every float sum in the same sample-major order.
 func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
+	if a.buf.Len() < a.cfg.BatchSize {
+		return 0, false
+	}
+	a.batch = a.buf.SampleInto(a.rng, a.cfg.BatchSize, a.batch[:0])
+	batch := a.batch
+	nb := len(batch)
+	n := float64(nb)
+	sd, ad := a.cfg.StateDim, a.cfg.ActionDim
+	cd := sd + ad
+
+	// Bootstrapped targets: y_i = r_i + gamma*Q'(s2_i, π'(s2_i)). The
+	// forwards run for every row — terminal rows' values are computed but
+	// unused, which cannot perturb results (forward passes read no
+	// gradient state).
+	a.targets = growF(a.targets, nb)
+	a.s2B = growF(a.s2B, nb*sd)
+	a.tinB = growF(a.tinB, nb*cd)
+	for i, tr := range batch {
+		gatherRow(a.s2B, i*sd, tr.S2, sd, "next state")
+	}
+	a2 := a.actorT.ForwardBatch(a.s2B, nb)
+	for i, tr := range batch {
+		gatherRow(a.tinB, i*cd, tr.S2, sd, "next state")
+		copy(a.tinB[i*cd+sd:i*cd+cd], a2[i*ad:i*ad+ad])
+	}
+	q2 := a.criticT.ForwardBatch(a.tinB, nb)
+	for i, tr := range batch {
+		y := tr.R
+		if !tr.Done {
+			y += a.cfg.Gamma * q2[i]
+		}
+		a.targets[i] = y
+	}
+
+	// Critic update: minimize (y_i - Q(s_i, a_i))^2.
+	a.inB = growF(a.inB, nb*cd)
+	a.gyB = growF(a.gyB, nb)
+	for i, tr := range batch {
+		gatherRow(a.inB, i*cd, tr.S, sd, "state")
+		gatherRow(a.inB, i*cd+sd, tr.A, ad, "action")
+	}
+	a.critic.ZeroGrad()
+	q := a.critic.ForwardBatch(a.inB, nb)
+	for i := 0; i < nb; i++ {
+		d := q[i] - a.targets[i]
+		criticLoss += d * d / n
+		a.gyB[i] = 2 * d / n
+	}
+	a.critic.BackwardBatchParams(a.gyB, nb)
+	a.optC.Step()
+
+	// Actor update: maximize Q(s, π(s)) → gradient ascent via chain rule
+	// through a frozen critic (its grads are discarded after extraction).
+	// Policy updates are delayed until the critic has seen enough batches.
+	if a.Updates < a.cfg.ActorDelay {
+		a.Updates++
+		if err := a.criticT.SoftUpdate(a.critic, a.cfg.Tau); err != nil {
+			panic(err)
+		}
+		return criticLoss, true
+	}
+	a.sB = growF(a.sB, nb*sd)
+	a.gactB = growF(a.gactB, nb*ad)
+	for i, tr := range batch {
+		gatherRow(a.sB, i*sd, tr.S, sd, "state")
+	}
+	acts := a.actor.ForwardBatch(a.sB, nb)
+	for i := 0; i < nb; i++ {
+		copy(a.inB[i*cd:i*cd+sd], a.sB[i*sd:i*sd+sd])
+		copy(a.inB[i*cd+sd:i*cd+cd], acts[i*ad:i*ad+ad])
+	}
+	a.critic.ForwardBatch(a.inB, nb)
+	for i := 0; i < nb; i++ {
+		a.gyB[i] = 1
+	}
+	// InputGrad leaves the critic's parameter gradients untouched, so the
+	// frozen-critic extraction needs no ZeroGrad bracketing at all.
+	gin := a.critic.BackwardBatchInputGrad(a.gyB, nb) // dQ/d[s‖a] per row
+	for b := 0; b < nb; b++ {
+		dqda := gin[b*cd+sd : b*cd+cd]
+		for j, g := range dqda {
+			a.gactB[b*ad+j] = -g / n // minimize -Q
+		}
+	}
+	a.actor.ZeroGrad()
+	a.actor.BackwardBatchParams(a.gactB, nb)
+	a.optA.Step()
+
+	// Soft target updates.
+	if err := a.actorT.SoftUpdate(a.actor, a.cfg.Tau); err != nil {
+		panic(err)
+	}
+	if err := a.criticT.SoftUpdate(a.critic, a.cfg.Tau); err != nil {
+		panic(err)
+	}
+	a.Updates++
+	return criticLoss, true
+}
+
+// TrainStepSequential is the pre-batching per-sample reference update,
+// retained verbatim so equivalence tests (and the rl-train-step-seq
+// benchmark) can pin the batched path against it bit for bit. It consumes
+// the identical RNG stream as TrainStep and must produce identical weights.
+func (a *Agent) TrainStepSequential() (criticLoss float64, ok bool) {
 	if a.buf.Len() < a.cfg.BatchSize {
 		return 0, false
 	}
@@ -334,7 +472,8 @@ func (a *Agent) TrainStep() (criticLoss float64, ok bool) {
 		a.critic.ZeroGrad()
 		a.critic.Forward(a.in)
 		a.gout[0] = 1
-		gin := a.critic.Backward(a.gout[:])
+		gin := a.critic.BackwardInto(a.gout[:], a.ginSeq)
+		a.ginSeq = gin
 		dqda := gin[len(tr.S):]
 		if cap(a.gact) < len(dqda) {
 			a.gact = make([]float64, len(dqda))
@@ -374,16 +513,34 @@ func (a *Agent) PretrainActor(states, actions [][]float64, epochs int, lr float6
 		idx[i] = i
 	}
 	n := float64(len(states))
-	grad := make([]float64, a.actor.OutputDim())
+	// Chunk the shuffled demonstration set through the nn batch path. The
+	// global sample order is the shuffled order either way and gradients
+	// accumulate across chunks without zeroing, so each epoch's accumulated
+	// gradient — and therefore the trained weights — is bit-identical to
+	// the per-sample loop this replaces.
+	const chunk = 64
+	in, out := a.actor.InputDim(), a.actor.OutputDim()
+	xb := make([]float64, chunk*in)
+	gy := make([]float64, chunk*out)
 	for e := 0; e < epochs; e++ {
 		a.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		a.actor.ZeroGrad()
-		for _, i := range idx {
-			out := a.actor.Forward(states[i])
-			for j := range out {
-				grad[j] = 2 * (out[j] - actions[i][j]) / n
+		for off := 0; off < len(idx); off += chunk {
+			m := len(idx) - off
+			if m > chunk {
+				m = chunk
 			}
-			a.actor.Backward(grad)
+			for k := 0; k < m; k++ {
+				gatherRow(xb, k*in, states[idx[off+k]], in, "demo state")
+			}
+			outB := a.actor.ForwardBatch(xb[:m*in], m)
+			for k := 0; k < m; k++ {
+				act := actions[idx[off+k]]
+				for j := 0; j < out; j++ {
+					gy[k*out+j] = 2 * (outB[k*out+j] - act[j]) / n
+				}
+			}
+			a.actor.BackwardBatchParams(gy[:m*out], m)
 		}
 		opt.Step()
 	}

@@ -8,12 +8,22 @@
 // current weights are snapshotted, the round's episodes run concurrently on
 // the workers — each seeded by sim.DeriveSeed(campaignSeed, episodeKey), so
 // an episode's trajectory is a pure function of the round snapshot and its
-// episode key — and their transition streams are buffered. Behind the
-// round barrier a single learner goroutine replays the streams in episode
-// order, applying replay-buffer writes and TrainStep gradients exactly as
-// the online controller would have. Trained weights — and therefore
-// firmbench stdout — are byte-identical at any worker count; only
-// wall-clock changes.
+// episode key — and their transition streams are buffered. A single learner
+// (the calling goroutine) replays the streams in episode order, applying
+// replay-buffer writes and TrainStep gradients exactly as the online
+// controller would have. Trained weights — and therefore firmbench stdout —
+// are byte-identical at any worker count; only wall-clock changes.
+//
+// Rounds are double-buffered: by default the learner replays episode i as
+// soon as it completes, concurrently with actors still rolling out later
+// episodes of the same round. This is sound because actors act on private
+// replicas of the round snapshot — learner weight updates cannot leak into
+// in-flight trajectories — and the replay itself stays strictly sequential
+// in episode order. The only barrier left is snapshot publication: round
+// r+1's snapshot is not taken until every episode of round r has been
+// replayed, so policy staleness (and every trained byte) is identical to
+// the strict end-of-round barrier it replaces. SetOverlap/Options.NoOverlap
+// restore the strict barrier for A/B measurement.
 //
 // The semantic difference from fully-online training is the classic A3C
 // trade: within a round, actors follow a policy up to SyncEvery-1 episodes
@@ -45,7 +55,8 @@ const DefaultSyncEvery = 8
 
 var (
 	mu             sync.Mutex
-	defaultWorkers int // 0 = borrow from the runner budget
+	defaultWorkers int  // 0 = borrow from the runner budget
+	overlapOff     bool // true = strict end-of-round barrier everywhere
 )
 
 // SetWorkers sets the package-default actor worker count used when
@@ -66,6 +77,23 @@ func Workers() int {
 	mu.Lock()
 	defer mu.Unlock()
 	return defaultWorkers
+}
+
+// SetOverlap sets the package default for double-buffered rounds (on by
+// default). Overlap never changes results — only whether learner replay
+// runs concurrently with the round's remaining rollouts. cmd/firmbench
+// wires its -rollout-overlap flag here.
+func SetOverlap(on bool) {
+	mu.Lock()
+	overlapOff = !on
+	mu.Unlock()
+}
+
+// Overlap reports whether double-buffered rounds are enabled by default.
+func Overlap() bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return !overlapOff
 }
 
 // Options configures one rollout campaign.
@@ -101,6 +129,10 @@ type Options struct {
 	// episode ep's transitions have been applied — strictly in episode
 	// order (checkpointing, reward bookkeeping).
 	AfterEpisode func(ep int, reward float64) error
+	// NoOverlap forces the strict end-of-round barrier for this campaign,
+	// disabling the double-buffered learner. Results are byte-identical
+	// either way; the switch exists for A/B benchmarking and debugging.
+	NoOverlap bool
 }
 
 // obs is one collected transition, tagged with its emitting service.
@@ -143,12 +175,15 @@ func Run(opts Options) ([]float64, error) {
 		pinned = Workers()
 	}
 
+	overlap := !opts.NoOverlap && Overlap()
+
 	// Persistent replicas, one per worker slot, grown to the widest round
 	// and synced at round boundaries.
 	var replicas []core.ReplicaProvider
 
 	rewards := make([]float64, 0, opts.Episodes)
 	outs := make([]epOut, syncEvery)
+	ready := make([]bool, syncEvery)
 	for r0 := 0; r0 < opts.Episodes; r0 += syncEvery {
 		n := syncEvery
 		if rest := opts.Episodes - r0; n > rest {
@@ -191,37 +226,13 @@ func Run(opts Options) ([]float64, error) {
 			outs[i] = epOut{reward: reward, obs: collected, err: err}
 		}
 
-		if nw <= 1 {
-			for i := 0; i < n; i++ {
-				runOne(replicas[0], i)
-			}
-		} else {
-			idx := make(chan int)
-			var wg sync.WaitGroup
-			for w := 0; w < nw; w++ {
-				wg.Add(1)
-				go func(rep core.ReplicaProvider) {
-					defer wg.Done()
-					for i := range idx {
-						runOne(rep, i)
-					}
-				}(replicas[w])
-			}
-			for i := 0; i < n; i++ {
-				idx <- i
-			}
-			close(idx)
-			wg.Wait() // round barrier: no episode of round r+1 sees stale weights
-		}
-		// The learner phase is single-goroutine: give borrowed slots back
-		// before it starts so sibling campaigns can use them meanwhile.
-		runner.ReleaseSlots(borrowed)
-
-		// Learner phase: replay transition streams in episode order, exactly
-		// as the online controller would have observed and trained on them.
-		for i := 0; i < n; i++ {
+		// apply replays episode i's transition stream into the learner,
+		// exactly as the online controller would have observed and trained
+		// on it. Learner-side errors (episode failure, AfterEpisode) are
+		// returned, not applied past.
+		apply := func(i int) error {
 			if outs[i].err != nil {
-				return nil, fmt.Errorf("rollout: episode %d: %w", r0+i, outs[i].err)
+				return fmt.Errorf("rollout: episode %d: %w", r0+i, outs[i].err)
 			}
 			for _, o := range outs[i].obs {
 				ag := opts.Learner.AgentFor(o.service)
@@ -231,10 +242,100 @@ func Run(opts Options) ([]float64, error) {
 			rewards = append(rewards, outs[i].reward)
 			if opts.AfterEpisode != nil {
 				if err := opts.AfterEpisode(r0+i, outs[i].reward); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		if !overlap {
+			// Strict barrier mode: finish every rollout, then replay.
+			if nw <= 1 {
+				for i := 0; i < n; i++ {
+					runOne(replicas[0], i)
+				}
+			} else {
+				idx := make(chan int)
+				var wg sync.WaitGroup
+				for w := 0; w < nw; w++ {
+					wg.Add(1)
+					go func(rep core.ReplicaProvider) {
+						defer wg.Done()
+						for i := range idx {
+							runOne(rep, i)
+						}
+					}(replicas[w])
+				}
+				for i := 0; i < n; i++ {
+					idx <- i
+				}
+				close(idx)
+				wg.Wait() // round barrier: no episode of round r+1 sees stale weights
+			}
+			// The learner phase is single-goroutine: give borrowed slots back
+			// before it starts so sibling campaigns can use them meanwhile.
+			runner.ReleaseSlots(borrowed)
+			for i := 0; i < n; i++ {
+				if err := apply(i); err != nil {
 					return nil, err
 				}
 			}
+			continue
 		}
+
+		// Double-buffered round: actors stream per-episode completions and
+		// the calling goroutine replays them in episode order while later
+		// episodes of the same round are still rolling out. Even nw=1
+		// overlaps: the single actor produces episode i+1 while the learner
+		// trains on episode i. The happens-before chain for outs[i] is the
+		// completion send; replay order is enforced by the ready/next
+		// cursor, so scheduling never reorders a gradient.
+		idx := make(chan int)
+		completed := make(chan int, n)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(rep core.ReplicaProvider) {
+				defer wg.Done()
+				for i := range idx {
+					runOne(rep, i)
+					completed <- i
+				}
+			}(replicas[w])
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+			close(completed)
+		}()
+
+		for i := 0; i < n; i++ {
+			ready[i] = false
+		}
+		next := 0
+		var firstErr error
+		for i := range completed {
+			ready[i] = true
+			for next < n && ready[next] {
+				if firstErr == nil {
+					// Stop applying at the first error in episode order; keep
+					// draining so workers exit and outs is quiescent before
+					// the round (or Run) ends.
+					firstErr = apply(next)
+				}
+				next++
+			}
+		}
+		runner.ReleaseSlots(borrowed)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		// Falling through to the next iteration publishes the next snapshot
+		// — the one remaining barrier: it happens only after every episode
+		// above has been replayed.
 	}
 	return rewards, nil
 }

@@ -266,6 +266,58 @@ func TestSyncEveryShapesTraining(t *testing.T) {
 	}
 }
 
+func TestOverlapMatchesStrictBarrier(t *testing.T) {
+	// Double-buffered replay must be invisible in the results: same rewards,
+	// same trained weights as the strict end-of-round barrier, at one worker
+	// (pure producer/consumer pipelining) and at many.
+	train := func(workers int, noOverlap bool) ([]float64, []float64) {
+		learner := core.SharedAgent{A: rl.New(smallCfg(14))}
+		rewards, err := Run(Options{
+			Episodes: 10, Workers: workers, SyncEvery: 4, Seed: 6, Key: "overlap",
+			Learner:    learner,
+			RunEpisode: syntheticEpisode(func(int, int) string { return "svc" }),
+			NoOverlap:  noOverlap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := []float64{0.3, -0.2, 0.8, 0.1, -0.6, 0.4, 0.9, -0.3}
+		return rewards, learner.A.Act(probe)
+	}
+	refRewards, refAct := train(1, true)
+	for _, w := range []int{1, 2, 8} {
+		rewards, act := train(w, false)
+		if !sameVec(refRewards, rewards) {
+			t.Fatalf("workers=%d overlap: rewards differ\nstrict:  %v\noverlap: %v", w, refRewards, rewards)
+		}
+		if !sameVec(refAct, act) {
+			t.Fatalf("workers=%d overlap: trained policy differs", w)
+		}
+	}
+}
+
+func TestOverlapPackageKnob(t *testing.T) {
+	defer SetOverlap(true)
+	SetOverlap(false)
+	if Overlap() {
+		t.Fatal("SetOverlap(false) not reflected")
+	}
+	// With the knob off, campaigns run the strict path and still match.
+	learner := core.SharedAgent{A: rl.New(smallCfg(15))}
+	rewards, err := Run(Options{
+		Episodes: 5, Workers: 2, SyncEvery: 2, Seed: 8, Key: "knob",
+		Learner:    learner,
+		RunEpisode: syntheticEpisode(func(int, int) string { return "svc" }),
+	})
+	if err != nil || len(rewards) != 5 {
+		t.Fatalf("strict-path campaign: %v rewards, err %v", len(rewards), err)
+	}
+	SetOverlap(true)
+	if !Overlap() {
+		t.Fatal("SetOverlap(true) not reflected")
+	}
+}
+
 func TestRunValidatesOptions(t *testing.T) {
 	if _, err := Run(Options{Episodes: 1, RunEpisode: nil,
 		Learner: core.SharedAgent{A: rl.New(smallCfg(10))}}); err == nil {

@@ -45,8 +45,16 @@ func (rf *RFF) Dim() int { return len(rf.W) }
 
 // Map projects x into the randomized feature space.
 func (rf *RFF) Map(x []float64) []float64 {
+	return rf.MapInto(make([]float64, len(rf.W)), x)
+}
+
+// MapInto is Map writing into z (len must be Dim()), returning z. Scoring
+// loops reuse one projection buffer instead of allocating per candidate.
+func (rf *RFF) MapInto(z, x []float64) []float64 {
 	d := len(rf.W)
-	z := make([]float64, d)
+	if len(z) != d {
+		panic("svm: MapInto buffer size mismatch")
+	}
 	scale := math.Sqrt(2 / float64(d))
 	for i := 0; i < d; i++ {
 		dot := rf.B[i]
@@ -124,6 +132,61 @@ func (s *SVM) Decision(x []float64) (float64, error) {
 		d += s.w[i] * zi
 	}
 	return d, nil
+}
+
+// Scorer is an allocation-free scoring view over an SVM: it owns a reusable
+// RFF projection buffer, so per-tick scoring loops (detect.Localizer) pay no
+// garbage per candidate. A Scorer is single-goroutine state; the underlying
+// SVM stays shareable read-only, and each concurrent reader makes its own
+// Scorer.
+type Scorer struct {
+	s *SVM
+	z []float64
+}
+
+// NewScorer returns a scoring view bound to s.
+func (s *SVM) NewScorer() *Scorer {
+	sc := &Scorer{s: s}
+	if s.rff != nil {
+		sc.z = make([]float64, s.rff.Dim())
+	}
+	return sc
+}
+
+// Decision is SVM.Decision through the reusable projection buffer —
+// bit-identical scores, no per-call allocation.
+func (sc *Scorer) Decision(x []float64) (float64, error) {
+	s := sc.s
+	if len(x) != s.cfg.InputDim {
+		return 0, ErrBadInput
+	}
+	z := x
+	if s.rff != nil {
+		z = s.rff.MapInto(sc.z, x)
+	}
+	d := s.b
+	for i, zi := range z {
+		d += s.w[i] * zi
+	}
+	return d, nil
+}
+
+// DecisionBatch scores nb rows packed row-major in xb (len nb*InputDim)
+// into out (len nb). Row i's score is bit-identical to Decision over that
+// row; the projection buffer is reused across rows.
+func (sc *Scorer) DecisionBatch(xb []float64, nb int, out []float64) error {
+	dim := sc.s.cfg.InputDim
+	if nb < 0 || len(xb) != nb*dim || len(out) != nb {
+		return ErrBadInput
+	}
+	for i := 0; i < nb; i++ {
+		d, err := sc.Decision(xb[i*dim : (i+1)*dim])
+		if err != nil {
+			return err
+		}
+		out[i] = d
+	}
+	return nil
 }
 
 // Classify returns the binary decision of Alg. 2 line 10.
