@@ -188,3 +188,5 @@ func BenchmarkRLTrainStepBatched(b *testing.B)  { perf.RLTrainStepBatched(b) }
 func BenchmarkRLTrainStepSeq(b *testing.B)      { perf.RLTrainStepSeq(b) }
 func BenchmarkDetectFeatures(b *testing.B)      { perf.DetectFeatures(b) }
 func BenchmarkRolloutRoundOverlap(b *testing.B) { perf.RolloutRoundOverlap(b) }
+func BenchmarkTopologyGenerate(b *testing.B)    { perf.TopologyGenerate(b) }
+func BenchmarkWorkloadArrivals(b *testing.B)    { perf.WorkloadArrivals(b) }

@@ -182,3 +182,16 @@ func TestTrainRewardsIndependentOfWorkers(t *testing.T) {
 		t.Fatalf("worker count changed rewards:\n%v\n%v", ref, got)
 	}
 }
+
+// TestGenSweepGoldenAcrossWorkers pins the generated-topology scale sweep:
+// stdout and canonical JSON must be byte-identical at every worker
+// configuration — the sweep's cells (generated spec + thinned heavy-traffic
+// arrivals) are placement-independent by construction.
+func TestGenSweepGoldenAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 1,000-service topologies; run without -short")
+	}
+	goldenCheck(t, "gensweep_tiny", func() (Reportable, error) {
+		return GenSweep(TinyScale(), 42)
+	})
+}

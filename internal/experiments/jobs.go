@@ -135,6 +135,7 @@ func init() {
 	registerJobs("fig5", fig5Jobs)
 	registerJobs("fig9a", fig9aJobs)
 	registerJobs("fig9b", fig9bJobs)
+	registerJobs("gensweep", gensweepJobs)
 }
 
 // mapJobs runs a registered set's job list: remotely when a dispatcher is

@@ -29,6 +29,7 @@ var registry = map[string]Runner{
 	"fig9a":    wrap(Fig9a),
 	"fig9b":    wrap(Fig9b),
 	"fig9c":    wrap(Fig9c),
+	"gensweep": wrap(GenSweep),
 	"fig10":    wrap(Fig10),
 	"fig11a":   wrap(Fig11a),
 	"fig11b":   wrap(Fig11b),

@@ -55,6 +55,8 @@ func Benchmarks() []Benchmark {
 		{"rl-train-step-seq", "the replaced per-sample TrainStep, kept as the speedup reference", RLTrainStepSeq},
 		{"detect-features", "incremental localizer rescore at steady state (the violated-tick path)", DetectFeatures},
 		{"rollout-round-overlap", "one double-buffered rollout campaign: 2 actors + streaming learner", RolloutRoundOverlap},
+		{"topology-generate", "procedural generation + validation of a 1,000-service spec", TopologyGenerate},
+		{"workload-arrivals", "thinned arrival sampling: 10ms of a 2,600 rps spiked-diurnal bound", WorkloadArrivals},
 	}
 }
 
@@ -410,4 +412,55 @@ func RolloutRoundOverlap(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(8, "episodes/op")
+}
+
+// TopologyGenerate measures procedural generation (plus the hardened
+// Validate it runs internally) of a 1,000-service spec — the per-cell
+// setup cost of every web-scale sweep, and the large-graph target ROADMAP
+// item 5's profiling flywheel asks for.
+func TopologyGenerate(b *testing.B) {
+	p := topology.Params{Services: 1000, Endpoints: 8, MaxFanout: 3, Depth: 6}
+	var spec *topology.Spec
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		spec, err = topology.Generate(p, Seed)
+		if err != nil {
+			panic(fmt.Sprintf("perf: generate failed: %v", err))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(spec.NumServices()), "services")
+}
+
+// WorkloadArrivals measures the thinned open-loop arrival path end to end:
+// candidate proposals against a fast-varying composite bound (diurnal base
+// with stochastic spikes), accept/reject thinning, and the accepted
+// arrivals' submission into a minimal 2-service generated app. Each
+// iteration advances the simulation 10ms (~26 proposals at the composite's
+// 2,600 rps bound).
+func WorkloadArrivals(b *testing.B) {
+	spec, err := topology.Generate(topology.Params{Services: 2, Endpoints: 1, MaxFanout: 1, Depth: 2}, Seed)
+	if err != nil {
+		panic(fmt.Sprintf("perf: generate failed: %v", err))
+	}
+	tb, err := harness.New(harness.Options{Seed: Seed, Spec: spec})
+	if err != nil {
+		panic(fmt.Sprintf("perf: harness failed: %v", err))
+	}
+	spikes, err := workload.NewSpikes(
+		workload.Diurnal{Base: 800, Amplitude: 400, Period: sim.Second},
+		2, 50*sim.Millisecond, 10*sim.Millisecond, sim.Hour, Seed)
+	if err != nil {
+		panic(fmt.Sprintf("perf: spikes failed: %v", err))
+	}
+	gen := tb.AttachWorkload(workload.Sum{workload.Constant{RPS: 200}, spikes})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Eng.RunFor(10 * sim.Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(gen.Submitted), "arrivals")
 }

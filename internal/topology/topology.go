@@ -12,6 +12,7 @@ package topology
 
 import (
 	"fmt"
+	"sort"
 
 	"firm/internal/cluster"
 	"firm/internal/sim"
@@ -205,7 +206,10 @@ func (b *builder) endpoint(name string, weight float64, root *Call) {
 
 func ms(x float64) sim.Time { return sim.FromMillis(x) }
 
-// Walk visits every call in the workflow tree in depth-first order.
+// Walk visits every call in the workflow tree in depth-first order. It
+// assumes an acyclic workflow — the invariant Validate enforces; on a
+// cyclic graph Walk recurses without bound, so validate untrusted specs
+// first.
 func Walk(c *Call, visit func(*Call)) {
 	if c == nil {
 		return
@@ -217,34 +221,102 @@ func Walk(c *Call, visit func(*Call)) {
 }
 
 // Validate checks spec consistency: every endpoint call references a
-// registered service, weights are positive, and every service is reachable
-// from at least one endpoint.
+// registered service, workflow graphs are acyclic, endpoint names are
+// unique with positive weights, every service is reachable from at least
+// one endpoint, and every service has Replicas >= 1 with non-negative
+// demand/limit vectors. Generated specs (Generate) are guaranteed to pass;
+// hand-built or deserialized specs should be validated before deployment —
+// in particular the cycle check is what makes Walk's unbounded recursion
+// safe everywhere else.
 func (s *Spec) Validate() error {
 	if len(s.Endpoints) == 0 {
 		return fmt.Errorf("topology %s: no endpoints", s.Name)
 	}
+	for _, name := range s.serviceNames() {
+		svc := s.Services[name]
+		if svc == nil {
+			return fmt.Errorf("topology %s: service %s is nil", s.Name, name)
+		}
+		if svc.Replicas < 1 {
+			return fmt.Errorf("topology %s: service %s has %d replicas, need >= 1", s.Name, name, svc.Replicas)
+		}
+		for i, x := range svc.Demand {
+			if !(x >= 0) { // negative or NaN
+				return fmt.Errorf("topology %s: service %s demand[%d] = %v, must be >= 0", s.Name, name, i, x)
+			}
+		}
+		for i, x := range svc.Limits {
+			if !(x >= 0) {
+				return fmt.Errorf("topology %s: service %s limits[%d] = %v, must be >= 0", s.Name, name, i, x)
+			}
+		}
+	}
 	reached := map[string]bool{}
+	epNames := map[string]bool{}
 	for _, ep := range s.Endpoints {
-		if ep.Weight <= 0 {
+		if epNames[ep.Name] {
+			return fmt.Errorf("topology %s: duplicate endpoint %s", s.Name, ep.Name)
+		}
+		epNames[ep.Name] = true
+		if !(ep.Weight > 0) { // non-positive or NaN
 			return fmt.Errorf("topology %s: endpoint %s has non-positive weight", s.Name, ep.Name)
 		}
-		var err error
-		Walk(ep.Root, func(c *Call) {
-			if _, ok := s.Services[c.Service]; !ok && err == nil {
-				err = fmt.Errorf("topology %s: endpoint %s references unknown service %s", s.Name, ep.Name, c.Service)
-			}
-			reached[c.Service] = true
-		})
-		if err != nil {
+		if ep.Root == nil {
+			return fmt.Errorf("topology %s: endpoint %s has no workflow", s.Name, ep.Name)
+		}
+		if err := s.checkCall(ep.Root, map[*Call]int{}, reached, ep.Name); err != nil {
 			return err
 		}
 	}
-	for name := range s.Services {
+	for _, name := range s.serviceNames() {
 		if !reached[name] {
 			return fmt.Errorf("topology %s: service %s unreachable from endpoints", s.Name, name)
 		}
 	}
 	return nil
+}
+
+// checkCall is a memoized DFS over the workflow graph: it rejects cycles (a
+// call that is its own ancestor — what used to overflow Walk's stack),
+// unknown services, and negative compute times. States: 0 unvisited, 1 on
+// the current DFS stack, 2 fully checked — so shared subtrees (diamonds)
+// are validated once and are not misreported as cycles.
+func (s *Spec) checkCall(c *Call, state map[*Call]int, reached map[string]bool, ep string) error {
+	if c == nil {
+		return nil
+	}
+	switch state[c] {
+	case 1:
+		return fmt.Errorf("topology %s: endpoint %s workflow has a cycle through service %s", s.Name, ep, c.Service)
+	case 2:
+		return nil
+	}
+	state[c] = 1
+	if _, ok := s.Services[c.Service]; !ok {
+		return fmt.Errorf("topology %s: endpoint %s references unknown service %s", s.Name, ep, c.Service)
+	}
+	if c.Compute < 0 {
+		return fmt.Errorf("topology %s: endpoint %s call to %s has negative compute %v", s.Name, ep, c.Service, c.Compute)
+	}
+	reached[c.Service] = true
+	for _, ch := range c.Children {
+		if err := s.checkCall(ch.Call, state, reached, ep); err != nil {
+			return err
+		}
+	}
+	state[c] = 2
+	return nil
+}
+
+// serviceNames returns service names in sorted order, so validation errors
+// and any map-driven iteration are deterministic.
+func (s *Spec) serviceNames() []string {
+	names := make([]string, 0, len(s.Services))
+	for name := range s.Services {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // NumServices returns the number of distinct microservices.
