@@ -189,4 +189,6 @@ func BenchmarkRLTrainStepSeq(b *testing.B)      { perf.RLTrainStepSeq(b) }
 func BenchmarkDetectFeatures(b *testing.B)      { perf.DetectFeatures(b) }
 func BenchmarkRolloutRoundOverlap(b *testing.B) { perf.RolloutRoundOverlap(b) }
 func BenchmarkTopologyGenerate(b *testing.B)    { perf.TopologyGenerate(b) }
+func BenchmarkTopologyGenerate10k(b *testing.B) { perf.TopologyGenerate10k(b) }
 func BenchmarkWorkloadArrivals(b *testing.B)    { perf.WorkloadArrivals(b) }
+func BenchmarkShardStep(b *testing.B)           { perf.ShardStep(b) }

@@ -159,7 +159,7 @@ func (inv invocation) validate() error {
 		if inv.run != "" || inv.list || inv.serve != "" || inv.dist != "" {
 			return fmt.Errorf("-bench runs the microbenchmark suite and cannot be combined with -run, -list, -serve, or -dist")
 		}
-		for _, f := range []string{"scale", "seed", "parallel", "rollout", "rollout-overlap"} {
+		for _, f := range []string{"scale", "seed", "parallel", "rollout", "rollout-overlap", "shards"} {
 			if inv.explicit[f] {
 				return fmt.Errorf("-%s is not meaningful with -bench (benchmarks pin their own scale and seed)", f)
 			}
@@ -180,7 +180,7 @@ func (inv invocation) validate() error {
 		if inv.jsonOut != "" {
 			return fmt.Errorf("-json is only meaningful with -bench or a campaign, not standalone -bench-trend")
 		}
-		for _, f := range []string{"scale", "seed", "parallel", "rollout", "rollout-overlap"} {
+		for _, f := range []string{"scale", "seed", "parallel", "rollout", "rollout-overlap", "shards"} {
 			if inv.explicit[f] {
 				return fmt.Errorf("-%s is not meaningful with -bench-trend", f)
 			}
@@ -231,6 +231,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		rollWk   = flag.Int("rollout", 0, "RL episode-rollout workers per training campaign (0 = share -parallel budget)")
 		rollOv   = flag.Bool("rollout-overlap", true, "double-buffer rollout rounds: learner replays finished episodes while later ones roll out (false = strict end-of-round barrier; results are byte-identical either way)")
+		shards   = flag.Int("shards", 0, "engine shards for sharded cells such as gensweep's 10,000-service topology (0 = default 8; results are byte-identical at any shard count)")
 		quiet    = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 		jsonOut  = flag.String("json", "", "write campaign results as canonical JSON to this path ('-' = stdout, text reports to stderr)")
 		diffMode = flag.Bool("diff", false, "compare two campaign JSON files: firmbench -diff [-tol x] a.json b.json")
@@ -286,6 +287,7 @@ func main() {
 	runner.SetWorkers(*parallel)
 	rollout.SetWorkers(*rollWk)
 	rollout.SetOverlap(*rollOv)
+	experiments.SetShards(*shards)
 	if !*quiet {
 		// Progress goes to stderr: stdout must stay byte-identical across
 		// worker counts, and completion order is scheduling-dependent.

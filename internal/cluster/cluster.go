@@ -25,6 +25,13 @@ type Config struct {
 	// (Table 6: warm 45.7±6.9 ms, cold 2050.8±291.4 ms).
 	WarmStartDelay sim.Time
 	ColdStartDelay sim.Time
+	// PerInstanceNoise gives every container its own service-time noise
+	// stream keyed by (NoiseSeed, service, replica ordinal) instead of the
+	// engine's shared stream. Sharded runs require it: the noise a replica
+	// sees must depend only on which replica it is, never on which shard's
+	// engine executes it or what else that engine has drawn.
+	PerInstanceNoise bool
+	NoiseSeed        int64
 }
 
 // DefaultConfig returns the configuration used across experiments.
@@ -177,6 +184,13 @@ func (rs *ReplicaSet) AddReplica(limits Vector, cold, instant bool) (*Container,
 	if node == nil {
 		return nil, ErrNoCapacity
 	}
+	return rs.place(node, limits, cold, instant)
+}
+
+// place attaches one container to the given node. Under PerInstanceNoise the
+// replica's noise stream is keyed by its ordinal within the set — not by the
+// cluster-global container ID, which depends on deployment interleaving.
+func (rs *ReplicaSet) place(node *Node, limits Vector, cold, instant bool) (*Container, error) {
 	rs.cl.nextID++
 	c := &Container{
 		ID:      fmt.Sprintf("%s-%d", rs.Service, rs.cl.nextID),
@@ -185,6 +199,14 @@ func (rs *ReplicaSet) AddReplica(limits Vector, cold, instant bool) (*Container,
 		cfg:     rs.cl.cfg,
 		node:    node,
 		limits:  limits.Min(node.Prof.Capacity),
+	}
+	if rs.cl.cfg.PerInstanceNoise {
+		// Only the seed is derived here; the ~5KB rand source is built on
+		// first draw. A 10,000-service deployment places containers that may
+		// never serve work, and eager construction made math/rand.newSource
+		// a quarter of the whole cell's CPU profile.
+		c.hasNoise = true
+		c.noiseSeed = sim.DeriveSeed(rs.cl.cfg.NoiseSeed, fmt.Sprintf("noise/%s/%d", rs.Service, len(rs.containers)))
 	}
 	if err := node.attach(c); err != nil {
 		return nil, err
@@ -200,6 +222,24 @@ func (rs *ReplicaSet) AddReplica(limits Vector, cold, instant bool) (*Container,
 	}
 	rs.cl.eng.Schedule(delay, func() { c.ready = true })
 	return c, nil
+}
+
+// DeployServiceOn creates a replica set with all containers pinned to node,
+// bypassing pickNode. The sharded harness uses it to realise a placement
+// computed globally (so the node→shard mapping, not free-CPU order at deploy
+// time, decides where every replica lives).
+func (cl *Cluster) DeployServiceOn(node *Node, service string, replicas int, limits Vector) (*ReplicaSet, error) {
+	if _, dup := cl.sets[service]; dup {
+		return nil, fmt.Errorf("cluster: service %s already deployed", service)
+	}
+	rs := &ReplicaSet{Service: service, cl: cl}
+	cl.sets[service] = rs
+	for i := 0; i < replicas; i++ {
+		if _, err := rs.place(node, limits, false, true); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
 }
 
 // RemoveReplica retires the given container (scale-in). Queued work is

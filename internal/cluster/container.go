@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"math/rand"
 
 	"firm/internal/sim"
 )
@@ -36,6 +37,13 @@ type Container struct {
 	eng  *sim.Engine
 	cfg  Config
 	node *Node
+	// Under Config.PerInstanceNoise the container draws service-time noise
+	// from its own stream instead of the engine's. Only noiseSeed is set at
+	// placement; the rand source is built lazily on the first draw, so the
+	// many replicas a large deployment never routes work to cost nothing.
+	hasNoise  bool
+	noiseSeed int64
+	noise     *rand.Rand
 
 	limits Vector
 	ready  bool
@@ -226,7 +234,16 @@ func (c *Container) start(qw queuedWork) {
 	}
 	noise := 1.0
 	if c.cfg.NoiseSD > 0 {
-		noise = sim.NormalClamped(c.eng.Rand(), 1, c.cfg.NoiseSD, 0.5, 2.0)
+		rng := c.noise
+		if rng == nil {
+			if c.hasNoise {
+				c.noise = rand.New(rand.NewSource(c.noiseSeed))
+				rng = c.noise
+			} else {
+				rng = c.eng.Rand()
+			}
+		}
+		noise = sim.NormalClamped(rng, 1, c.cfg.NoiseSD, 0.5, 2.0)
 	}
 	dur := sim.Time(base * total * noise)
 	if dur < 1 {

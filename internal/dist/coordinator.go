@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -50,6 +51,20 @@ type Pool struct {
 	mu      sync.Mutex
 	dead    []bool
 	checked bool
+
+	clientOnce sync.Once
+	httpClient *http.Client
+}
+
+// client returns the pool's shared HTTP client. One client per pool keeps
+// the transport's keep-alive connection cache: the previous per-call
+// client construction opened a fresh TCP connection for every job, which a
+// thousand-cell gensweep campaign turns into a thousand connection
+// handshakes per worker. Per-call deadlines are applied via request
+// contexts, not client timeouts, so sharing is safe.
+func (p *Pool) client() *http.Client {
+	p.clientOnce.Do(func() { p.httpClient = &http.Client{} })
+	return p.httpClient
 }
 
 // NewPool builds a pool over the given hosts.
@@ -99,7 +114,6 @@ func (p *Pool) ready() {
 	if wait <= 0 {
 		wait = 10 * time.Second
 	}
-	client := &http.Client{Timeout: 2 * time.Second}
 	var wg sync.WaitGroup
 	for i, h := range p.Hosts {
 		i, h := i, h
@@ -108,19 +122,39 @@ func (p *Pool) ready() {
 			defer wg.Done()
 			deadline := time.Now().Add(wait)
 			for {
-				resp, err := client.Get(hostURL(h) + "/healthz")
-				if err == nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					if resp.StatusCode == http.StatusOK {
-						return
-					}
-				}
-				if time.Now().After(deadline) {
+				// Each probe is capped at the time remaining (at most 2s):
+				// with the old fixed 2s client timeout, a ReadyTimeout
+				// shorter than one probe was silently overshot.
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
 					p.markDead(i, fmt.Errorf("no /healthz response within %s", wait), "")
 					return
 				}
-				time.Sleep(500 * time.Millisecond)
+				probe := 2 * time.Second
+				if remaining < probe {
+					probe = remaining
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), probe)
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, hostURL(h)+"/healthz", nil)
+				if err == nil {
+					var resp *http.Response
+					resp, err = p.client().Do(req)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode == http.StatusOK {
+							cancel()
+							return
+						}
+					}
+				}
+				cancel()
+				if sleep := time.Until(deadline); sleep > 500*time.Millisecond {
+					sleep = 500 * time.Millisecond
+					time.Sleep(sleep)
+				} else if sleep > 0 {
+					time.Sleep(sleep)
+				}
 			}
 		}()
 	}
@@ -162,8 +196,20 @@ func (p *Pool) call(host int, req JobRequest) (data []byte, jobErr, transportErr
 	if err != nil {
 		return nil, err, nil // cannot happen for these types; treat as job error
 	}
-	client := &http.Client{Timeout: p.Timeout}
-	resp, err := client.Post(hostURL(p.Hosts[host])+"/run", "application/json", bytes.NewReader(body))
+	// The per-job deadline lives on the request context; the client itself
+	// is shared pool-wide so completed calls keep their connections alive.
+	ctx := context.Background()
+	cancel := func() {}
+	if p.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, p.Timeout)
+	}
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, hostURL(p.Hosts[host])+"/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := p.client().Do(hreq)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -240,5 +241,80 @@ func TestTimeoutTreatedAsWorkerFailure(t *testing.T) {
 	assertSameBytes(t, got, localResults(t, "dist-test/timeout", "tiny", 2, keys))
 	if p.Alive() != 0 {
 		t.Fatal("timed-out worker should be dropped")
+	}
+}
+
+// TestPoolReusesConnections verifies the shared-client fix: a campaign's
+// job calls to one worker must ride a handful of kept-alive TCP
+// connections, not one fresh connection per call (the old per-call
+// http.Client construction defeated the transport's connection cache).
+func TestPoolReusesConnections(t *testing.T) {
+	keys := keysN("k", 16)
+	registerArithSet("dist-test/keepalive", keys, "")
+	var conns atomic.Int32
+	srv := httptest.NewUnstartedServer(Handler())
+	srv.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+	p := NewPool([]string{srv.URL})
+	got, err := p.Run("dist-test/keepalive", "tiny", 42, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBytes(t, got, localResults(t, "dist-test/keepalive", "tiny", 42, keys))
+	// One connection serves the health check and all 16 sequential jobs;
+	// allow a little slack for transport races, but 17 separate
+	// connections (the per-call-client behaviour) must fail.
+	if n := conns.Load(); n > 4 {
+		t.Fatalf("%d TCP connections for 16 jobs + health check; want connection reuse", n)
+	}
+}
+
+// TestReadyTimeoutNotOvershotByProbe pins the ready() deadline fix: with a
+// ReadyTimeout well below the old fixed 2s probe timeout, an unreachable
+// host must be declared dead at roughly the configured deadline, not after
+// a full probe's worth of extra waiting.
+func TestReadyTimeoutNotOvershotByProbe(t *testing.T) {
+	registerArithSet("dist-test/short-ready", keysN("k", 2), "")
+	// A listener that accepts and then stays silent, so the probe must wait
+	// out its timeout rather than fail fast with a connection refusal.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold silently until the listener closes
+		}
+	}()
+	p := NewPool([]string{ln.Addr().String()})
+	p.ReadyTimeout = 300 * time.Millisecond
+	start := time.Now()
+	got, err := p.Run("dist-test/short-ready", "tiny", 9, keysN("k", 2))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Alive() != 0 {
+		t.Fatalf("silent host still alive after ready check")
+	}
+	for i, r := range got {
+		if r.Worker != 0 {
+			t.Fatalf("result %d from slot %d, want local fallback (0)", i, r.Worker)
+		}
+	}
+	// 300ms deadline + scheduling slack; the old behaviour waited the full
+	// 2s probe.
+	if elapsed > 1500*time.Millisecond {
+		t.Fatalf("ready check took %v with a 300ms ReadyTimeout", elapsed)
 	}
 }

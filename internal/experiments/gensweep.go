@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"firm/internal/app"
 	"firm/internal/cluster"
 	"firm/internal/harness"
 	"firm/internal/report"
@@ -31,6 +33,32 @@ var gensweepSizes = []topology.Params{
 	{Services: 100, Endpoints: 4, MaxFanout: 3, Depth: 4},
 	{Services: 300, Endpoints: 5, MaxFanout: 3, Depth: 5},
 	{Services: 1000, Endpoints: 6, MaxFanout: 3, Depth: 6},
+}
+
+// gensweep10k is the sweep's top cell, beyond what one engine sustains: it
+// runs on the sharded path (harness.NewSharded). The cell's output is
+// byte-identical at any shard count, so the shard setting — like worker
+// counts — is an execution knob, not part of the job key.
+var gensweep10k = topology.Params{Services: 10000, Endpoints: 12, MaxFanout: 2, Depth: 8}
+
+// numShards is the shard count for sharded cells (firmbench -shards).
+var numShards atomic.Int32
+
+// SetShards sets the shard count used by sharded cells; 0 (or below)
+// restores the default of 8.
+func SetShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	numShards.Store(int32(n))
+}
+
+// Shards returns the configured shard count (default 8).
+func Shards() int {
+	if n := numShards.Load(); n > 0 {
+		return int(n)
+	}
+	return 8
 }
 
 // gensweepNodes sizes the simulated cluster to the topology: placement is
@@ -128,10 +156,59 @@ func gensweepCell(p topology.Params, dur sim.Time, seed int64) (GenSweepRow, err
 	return row, nil
 }
 
+// gensweepShardedCell runs one generated topology on the sharded engine.
+// Latencies flow through the result hook (the sharded path has no tracing
+// pipeline); hook order is event order on the home shard, which the
+// determinism contract makes shard-count invariant.
+func gensweepShardedCell(p topology.Params, dur sim.Time, seed int64, shards int) (GenSweepRow, error) {
+	spec, err := topology.Generate(p, seed)
+	if err != nil {
+		return GenSweepRow{}, err
+	}
+	pattern, err := gensweepPattern(dur, seed)
+	if err != nil {
+		return GenSweepRow{}, err
+	}
+	b, err := harness.NewSharded(harness.ShardedOptions{Seed: seed, Spec: spec, Shards: shards})
+	if err != nil {
+		return GenSweepRow{}, fmt.Errorf("gensweep %s: %w", p.Key(), err)
+	}
+	var lats []float64
+	b.App.SetResultHook(func(r app.Result) {
+		if !r.Dropped {
+			lats = append(lats, r.Latency.Millis())
+		}
+	})
+	b.AttachWorkload(pattern)
+	b.Run(dur)
+
+	var target float64
+	for at := sim.Time(0); at < dur; at += sim.Millisecond {
+		target += pattern.Rate(at+sim.Millisecond/2) * sim.Millisecond.Seconds()
+	}
+	row := GenSweepRow{
+		Params:    p,
+		Services:  spec.NumServices(),
+		Calls:     spec.NumCalls(),
+		Nodes:     b.NumNodes,
+		Target:    target,
+		Submitted: b.Gen.Submitted,
+		Completed: len(lats),
+	}
+	if len(lats) > 0 {
+		row.P50Ms = stats.Percentile(lats, 50)
+		row.P99Ms = stats.Percentile(lats, 99)
+	}
+	return row, nil
+}
+
 // gensweepJobs declares the sweep's job list: one independent simulation
 // per generated-topology size, keyed by the generator parameters. Each job
 // derives its own seed from (campaign seed, key), so results are identical
-// wherever the job runs.
+// wherever the job runs. The 10,000-service cell runs on the sharded
+// engine; its shard count is read at run time (not captured at declaration)
+// so a dist worker applies its own -shards setting — legal because the row
+// is byte-identical at any shard count.
 func gensweepJobs(sc Scale, seed int64) ([]runner.Job[GenSweepRow], error) {
 	dur := sc.dur(30 * sim.Second)
 	var jobs []runner.Job[GenSweepRow]
@@ -144,6 +221,13 @@ func gensweepJobs(sc Scale, seed int64) ([]runner.Job[GenSweepRow], error) {
 			},
 		})
 	}
+	p10k := gensweep10k
+	jobs = append(jobs, runner.Job[GenSweepRow]{
+		Key: runner.Key("gensweep", p10k.Key()),
+		Run: func(jobSeed int64) (GenSweepRow, error) {
+			return gensweepShardedCell(p10k, dur, jobSeed, Shards())
+		},
+	})
 	return jobs, nil
 }
 

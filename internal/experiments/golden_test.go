@@ -195,3 +195,36 @@ func TestGenSweepGoldenAcrossWorkers(t *testing.T) {
 		return GenSweep(TinyScale(), 42)
 	})
 }
+
+// TestGenSweepGoldenAcrossShards pins the sharded engine's contract against
+// the same goldens: the 10,000-service cell must render byte-identically at
+// shards 1 and 2 (the worker matrix above already covers the default 8).
+// Shard count, like worker count, is an execution knob — never a result
+// knob.
+func TestGenSweepGoldenAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 10,000-service topologies; run without -short")
+	}
+	wantText, err := os.ReadFile(filepath.Join("testdata", "gensweep_tiny.golden"))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	wantJSON, err := os.ReadFile(filepath.Join("testdata", "gensweep_tiny.json"))
+	if err != nil {
+		t.Fatalf("missing golden JSON file (regenerate with -update): %v", err)
+	}
+	defer SetShards(0)
+	for _, shards := range []int{1, 2} {
+		SetShards(shards)
+		text, jsonOut := renderAtWorkers(t, 2, 2, func() (Reportable, error) {
+			return GenSweep(TinyScale(), 42)
+		})
+		if text != string(wantText) {
+			t.Errorf("gensweep at shards=%d differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+				shards, text, wantText)
+		}
+		if string(jsonOut) != string(wantJSON) {
+			t.Errorf("gensweep JSON at shards=%d differs from golden", shards)
+		}
+	}
+}

@@ -56,7 +56,9 @@ func Benchmarks() []Benchmark {
 		{"detect-features", "incremental localizer rescore at steady state (the violated-tick path)", DetectFeatures},
 		{"rollout-round-overlap", "one double-buffered rollout campaign: 2 actors + streaming learner", RolloutRoundOverlap},
 		{"topology-generate", "procedural generation + validation of a 1,000-service spec", TopologyGenerate},
+		{"topology-generate-10k", "procedural generation + validation of a 10,000-service spec (the sharded sweep's top cell)", TopologyGenerate10k},
 		{"workload-arrivals", "thinned arrival sampling: 10ms of a 2,600 rps spiked-diurnal bound", WorkloadArrivals},
+		{"shard-step", "one lookahead window of an 8-shard ring at steady state (mail routing + window barrier)", ShardStep},
 	}
 }
 
@@ -463,4 +465,73 @@ func WorkloadArrivals(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(gen.Submitted), "arrivals")
+}
+
+// TopologyGenerate10k measures generation + validation of the sharded
+// sweep's top cell: a 10,000-service spec. Setup at this size is itself a
+// scaling surface — a superlinear generator would dominate the cell's
+// wall-clock before the first event fires.
+func TopologyGenerate10k(b *testing.B) {
+	p := topology.Params{Services: 10000, Endpoints: 12, MaxFanout: 2, Depth: 8}
+	var spec *topology.Spec
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		spec, err = topology.Generate(p, Seed)
+		if err != nil {
+			panic(fmt.Sprintf("perf: generate failed: %v", err))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(spec.NumServices()), "services")
+}
+
+// ShardStep measures the sharded engine's hot loop at steady state: one op
+// advances an 8-shard system by one lookahead window, carrying eight mail
+// rings (every shard forwards one mail per window) plus one local
+// self-rescheduling event per shard. It covers outbox collection, inbox
+// heap routing, barrier bookkeeping, and the per-shard event loop — and
+// must run at 0 allocs/op: event records come from the engine freelist and
+// every mail buffer is reused, so a regression here means a per-event
+// allocation crept into the window path. Workers are pinned to 1 (the
+// inline path): goroutine handoff is measured by wall-clock elsewhere, and
+// allocation accounting must not depend on scheduler timing.
+func ShardStep(b *testing.B) {
+	const nShards = 8
+	const lookahead = 100 * sim.Microsecond
+	se := sim.NewShardedEngine(Seed, nShards, lookahead)
+	se.SetWorkers(1)
+	// step[r][j] runs on shard j and forwards ring r to shard j+1. Keys are
+	// the ring index: at any timestamp the eight in-flight mails carry
+	// distinct rings, satisfying the key-uniqueness contract.
+	step := make([][]func(), nShards)
+	for r := 0; r < nShards; r++ {
+		step[r] = make([]func(), nShards)
+	}
+	for r := 0; r < nShards; r++ {
+		for j := 0; j < nShards; j++ {
+			r, j := r, j
+			next := (j + 1) % nShards
+			step[r][j] = func() { se.Send(j, next, lookahead, uint64(r), step[r][next]) }
+		}
+	}
+	local := make([]func(), nShards)
+	for j := 0; j < nShards; j++ {
+		j := j
+		local[j] = func() { se.Shard(j).Schedule(37*sim.Microsecond, local[j]) }
+	}
+	for r := 0; r < nShards; r++ {
+		se.Shard(r).Schedule(1, step[r][r])
+		se.Shard(r).Schedule(1, local[r])
+	}
+	se.RunFor(50 * sim.Millisecond) // steady state: heaps, freelists, buffers all grown
+	before := se.Steps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		se.RunFor(lookahead)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(se.Steps()-before)/float64(b.N), "events/op")
 }

@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -41,38 +40,80 @@ func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsec
 // String renders the time as seconds with millisecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
 
-// FromSeconds converts floating-point seconds to a Time.
+// FromSeconds converts floating-point seconds to a Time. Fractional
+// microseconds truncate toward zero (Go float64→int64 conversion): the
+// engine's clock has microsecond resolution and sub-µs residue is model
+// noise, not information. FromSeconds(1e-7) is therefore 0, not 1 — callers
+// that need "at least one tick" must clamp themselves.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
-// FromMillis converts floating-point milliseconds to a Time.
+// FromMillis converts floating-point milliseconds to a Time, truncating
+// fractional microseconds toward zero like FromSeconds.
 func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }
 
 // Event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (FIFO), which the seq field enforces.
+// scheduling order (FIFO), which the seq field enforces. (at, seq) is a
+// strict total order — seq is unique per engine — so the pop sequence is
+// the same for any heap arrangement.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
+// eventHeap is an inlined binary min-heap ordered by (at, seq). It replaces
+// container/heap: the interface indirection and interface{} boxing cost one
+// allocation plus several dynamic dispatches per event, which at 10,000
+// services is the dominant per-event constant factor (see internal/perf's
+// shard-step benchmark).
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a discrete-event simulator with a deterministic RNG.
@@ -80,6 +121,9 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	// free recycles executed event records; at steady state the hot loop
+	// (pop → run → push) allocates nothing.
+	free   []*event
 	rng    *rand.Rand
 	nSteps uint64
 }
@@ -123,7 +167,16 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.events.push(ev)
 }
 
 // Step executes the next pending event, advancing the clock to its
@@ -132,10 +185,15 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.nSteps++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running: fn may reschedule, and clearing the closure
+	// reference now keeps the freelist from pinning dead captures.
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 
@@ -165,12 +223,16 @@ func (e *Engine) Drain(maxEvents uint64) uint64 {
 }
 
 // Ticker repeatedly invokes fn every period until Stop is called. The first
-// invocation happens one period after Start.
+// invocation happens one period after Start. Stop/Start cycles are
+// supported: each Start opens a new tick generation, so a restarted ticker
+// resumes ticking and a closure left over from before the Stop can never
+// fire again (it carries the old generation).
 type Ticker struct {
 	eng     *Engine
 	period  Time
 	fn      func()
 	stopped bool
+	gen     uint64
 }
 
 // NewTicker creates (but does not start) a ticker.
@@ -181,18 +243,29 @@ func NewTicker(eng *Engine, period Time, fn func()) *Ticker {
 	return &Ticker{eng: eng, period: period, fn: fn}
 }
 
-// Start schedules the ticker's first tick.
-func (t *Ticker) Start() { t.schedule() }
+// Start schedules the ticker's first tick. Starting an already-running
+// ticker retires its pending tick chain and begins a fresh one (a restart,
+// not a second chain).
+func (t *Ticker) Start() {
+	t.stopped = false
+	t.gen++
+	t.schedule(t.gen)
+}
 
-// Stop prevents any future ticks. Safe to call multiple times.
-func (t *Ticker) Stop() { t.stopped = true }
+// Stop prevents any future ticks. Safe to call multiple times; bumping the
+// generation invalidates the pending closure immediately instead of letting
+// it linger in the heap for up to one period.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.gen++
+}
 
-func (t *Ticker) schedule() {
+func (t *Ticker) schedule(gen uint64) {
 	t.eng.Schedule(t.period, func() {
-		if t.stopped {
+		if t.stopped || gen != t.gen {
 			return
 		}
 		t.fn()
-		t.schedule()
+		t.schedule(gen)
 	})
 }

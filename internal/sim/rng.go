@@ -4,14 +4,15 @@ import "math/rand"
 
 // Stream derives an independent deterministic RNG from a parent seed and a
 // label hash. Components that need their own randomness (workload generator,
-// injector, RL exploration noise) take a Stream so that adding events to one
-// component does not perturb the random sequence observed by another.
+// injector, RL exploration noise, per-shard engine streams) take a Stream so
+// that adding events to one component does not perturb the random sequence
+// observed by another. The seed is derived with DeriveSeed, whose SplitMix64
+// finalizer guarantees near-identical labels ("shard/1"/"shard/2",
+// "noise/svc-011/0"/"noise/svc-012/0") still yield uncorrelated streams —
+// the previous multiply-add fold had no finalizer, so labels differing only
+// in their last runes produced seeds differing in a handful of low bits.
 func Stream(seed int64, label string) *rand.Rand {
-	h := uint64(seed)
-	for _, c := range label {
-		h = h*1099511628211 + uint64(c) // FNV-1a style mixing
-	}
-	return rand.New(rand.NewSource(int64(h)))
+	return rand.New(rand.NewSource(DeriveSeed(seed, label)))
 }
 
 // DeriveSeed deterministically derives an independent seed from a campaign
