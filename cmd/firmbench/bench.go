@@ -93,7 +93,14 @@ func runBenchSuite(names []string, jsonOut string, maxAllocs map[string]float64,
 			run[n] = true
 		}
 	}
+	// Sorted so that, with several bad -bench-allocs names, the one
+	// reported does not depend on map iteration order.
+	gated := make([]string, 0, len(maxAllocs))
 	for name := range maxAllocs {
+		gated = append(gated, name)
+	}
+	sort.Strings(gated)
+	for _, name := range gated {
 		if !run[name] {
 			fmt.Fprintf(os.Stderr, "firmbench: -bench-allocs %s: benchmark not selected in this run\n", name)
 			return 2

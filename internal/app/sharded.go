@@ -30,12 +30,12 @@ import (
 type ShardedApp struct {
 	Spec *topology.Spec
 
-	se       *sim.ShardedEngine
-	home     int
-	shardOf  map[string]int
-	rsOf     map[string]*cluster.ReplicaSet
-	callIdx  map[*topology.Call]uint32
-	delay    sim.Time // BaseRPCDelay; also the engine's lookahead
+	se      *sim.ShardedEngine
+	home    int
+	shardOf map[string]int
+	rsOf    map[string]*cluster.ReplicaSet
+	callIdx map[*topology.Call]uint32
+	delay   sim.Time // BaseRPCDelay; also the engine's lookahead
 
 	// SLO is the end-to-end latency objective (spec's by default).
 	SLO sim.Time

@@ -122,10 +122,13 @@ func (cl *Cluster) FindContainer(id string) *Container {
 }
 
 // TotalRequestedCPU sums CPU limits over all ready containers; expressed in
-// cores (multiply by 100 for the "%CPU" axis of Fig. 10(b)).
+// cores (multiply by 100 for the "%CPU" axis of Fig. 10(b)). The sum runs
+// over the sorted replica sets: float addition is order-sensitive, and
+// iterating the service map directly would round in a different order each
+// run (latent nondeterminism flagged by firmvet's maporder check).
 func (cl *Cluster) TotalRequestedCPU() float64 {
 	var sum float64
-	for _, rs := range cl.sets {
+	for _, rs := range cl.ReplicaSets() {
 		for _, c := range rs.containers {
 			sum += c.limits[CPU]
 		}

@@ -480,6 +480,8 @@ func (c *Controller) windowP99() sim.Time {
 // pushes the effective P99 to at least 10× the SLO so the SV signal cannot
 // be gamed by shedding load (starving a container until every request drops
 // would otherwise read as "no latency, no violation").
+//
+//firmvet:noalloc
 func (c *Controller) monitorP99() sim.Time {
 	var p99 sim.Time
 	if c.mon.Completed() > 0 {
@@ -504,6 +506,8 @@ func (c *Controller) flushPending(done bool) {
 
 // flushPendingAt is flushPending with the window P99 already computed (the
 // tick measures it once and reuses it for reward, flush, and actuation).
+//
+//firmvet:noalloc
 func (c *Controller) flushPendingAt(done bool, p99 sim.Time) {
 	if len(c.pending) == 0 {
 		return
@@ -537,6 +541,7 @@ func (c *Controller) flushPendingAt(done bool, p99 sim.Time) {
 // and profiling (internal/perf); simulations drive ticks through Start.
 func (c *Controller) TickNow() { c.tick() }
 
+//firmvet:noalloc
 func (c *Controller) tick() {
 	c.Ticks++
 	now := c.eng.Now()
@@ -599,6 +604,7 @@ func (c *Controller) tick() {
 	// once) and rescores — bit-identical to the batch
 	// ext.Candidates(Select(window)) it replaces.
 	cands := c.loc.Candidates()
+	//firmvet:allow noalloc -- violated-tick path only; the sort.Slice closure and interface box are off the steady-state (calm-tick) budget
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
 	anyCritical := false
 	for _, cand := range cands {

@@ -117,6 +117,7 @@ func newLayer(r *rand.Rand, in, out int, act Activation) *layer {
 	return l
 }
 
+//firmvet:noalloc
 func (l *layer) forward(x []float64) []float64 {
 	l.bn = 0
 	l.x = append(l.x[:0], x...)
@@ -140,6 +141,8 @@ func (l *layer) forward(x []float64) []float64 {
 // output float is bit-identical to nb per-sample forward calls. The input
 // matrix is cached by reference (not copied): it must stay unmodified until
 // the matching backwardBatch.
+//
+//firmvet:noalloc
 func (l *layer) forwardBatch(xb []float64, nb int) []float64 {
 	l.xb = xb
 	l.bn = nb
@@ -217,6 +220,8 @@ activate:
 // caller provably discards: needGrow covers the parameter gradients (GW,
 // GB), needGx the input gradients. Skipping an output never perturbs the
 // other — the two accumulation families share no state.
+//
+//firmvet:noalloc
 func (l *layer) backwardBatch(gyb []float64, nb int, needGrow, needGx bool) []float64 {
 	if l.bn != nb {
 		panic(fmt.Sprintf("nn: backwardBatch rows %d, want pending batch %d", nb, l.bn))
@@ -322,6 +327,8 @@ func (l *layer) backwardBatch(gyb []float64, nb int, needGrow, needGx bool) []fl
 
 // backward consumes dL/dy and returns dL/dx, accumulating parameter grads.
 // The returned slice is the layer's reused workspace.
+//
+//firmvet:noalloc
 func (l *layer) backward(gy []float64) []float64 {
 	if cap(l.gx) < l.In {
 		l.gx = make([]float64, l.In)
@@ -419,6 +426,8 @@ func (n *Net) BackwardInto(gradOut, dst []float64) []float64 {
 // path. The returned slice is reused across calls; xb is cached by
 // reference for a following BackwardBatch and must stay unmodified until
 // then.
+//
+//firmvet:noalloc
 func (n *Net) ForwardBatch(xb []float64, nb int) []float64 {
 	if nb <= 0 || len(xb) != nb*n.InputDim() {
 		panic(fmt.Sprintf("nn: batch input size %d, want %d rows of %d", len(xb), nb, n.InputDim()))
@@ -457,6 +466,7 @@ func (n *Net) BackwardBatchInputGrad(gradOut []float64, nb int) []float64 {
 	return n.backwardBatchImpl(gradOut, nb, false, true)
 }
 
+//firmvet:noalloc
 func (n *Net) backwardBatchImpl(gradOut []float64, nb int, params, input bool) []float64 {
 	if nb <= 0 || len(gradOut) != nb*n.OutputDim() {
 		panic(fmt.Sprintf("nn: batch gradient size %d, want %d rows of %d", len(gradOut), nb, n.OutputDim()))
@@ -589,6 +599,7 @@ func Unmarshal(data []byte) (*Net, error) {
 	if len(st.Sizes) < 2 || len(st.Acts) != len(st.Sizes)-1 {
 		return nil, fmt.Errorf("nn: corrupt state")
 	}
+	//firmvet:allow seedflow -- init weights are fully overwritten by the snapshot below; the stream is never observed
 	n := New(rand.New(rand.NewSource(0)), st.Sizes, st.Acts)
 	for i, l := range n.layers {
 		if len(st.W[i]) != len(l.W) || len(st.B[i]) != len(l.B) {

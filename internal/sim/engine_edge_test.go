@@ -10,11 +10,11 @@ func TestFromSecondsTruncatesTowardZero(t *testing.T) {
 		s    float64
 		want Time
 	}{
-		{1e-7, 0},          // below one tick truncates to zero, not one
-		{1.4999e-6, 1},     // 1.4999µs → 1µs
-		{-1.4999e-6, -1},   // toward zero, not toward -inf
-		{-1e-7, 0},         // tiny negatives also collapse to zero
-		{2.9999e-3, 2999},  // FromSeconds at ms scale
+		{1e-7, 0},         // below one tick truncates to zero, not one
+		{1.4999e-6, 1},    // 1.4999µs → 1µs
+		{-1.4999e-6, -1},  // toward zero, not toward -inf
+		{-1e-7, 0},        // tiny negatives also collapse to zero
+		{2.9999e-3, 2999}, // FromSeconds at ms scale
 		{-2.9999e-3, -2999},
 	}
 	for _, c := range cases {
@@ -99,7 +99,7 @@ func TestTickerStopStartCycles(t *testing.T) {
 		t.Fatalf("after first Stop: ticks = %v", ticks)
 	}
 
-	tk.Start() // the bug: this used to never tick again
+	tk.Start()      // the bug: this used to never tick again
 	e.RunUntil(125) // ticks at 110, 120
 	if len(ticks) != 4 || ticks[2] != 110 || ticks[3] != 120 {
 		t.Fatalf("after restart: ticks = %v", ticks)

@@ -55,6 +55,7 @@ func (h mailHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//firmvet:noalloc
 func (h *mailHeap) push(m mail) {
 	*h = append(*h, m)
 	s := *h
@@ -69,6 +70,7 @@ func (h *mailHeap) push(m mail) {
 	}
 }
 
+//firmvet:noalloc
 func (h *mailHeap) pop() mail {
 	s := *h
 	top := s[0]
@@ -206,6 +208,8 @@ func (se *ShardedEngine) Steps() uint64 {
 // concurrently, so a shorter delay is a model error and panics. key orders
 // mails that become deliverable in the same round (see mail); fn runs on
 // the destination shard's goroutine.
+//
+//firmvet:noalloc
 func (se *ShardedEngine) Send(from, to int, delay Time, key uint64, fn func()) {
 	if fn == nil {
 		panic("sim: Send with nil callback")
@@ -223,6 +227,8 @@ func (se *ShardedEngine) Send(from, to int, delay Time, key uint64, fn func()) {
 
 // collect drains every shard's outbox into the inbox heap. Shard-index
 // order (then append order) assigns the tie-break seq deterministically.
+//
+//firmvet:noalloc
 func (se *ShardedEngine) collect() {
 	for i, ob := range se.outbox {
 		for j := range ob {
@@ -240,6 +246,8 @@ func (se *ShardedEngine) collect() {
 // shard. Mails pop in (at, key) order, so equal-timestamp mails to one
 // destination get their seqs — and therefore their execution order — from
 // their keys, not from which shard sent them.
+//
+//firmvet:noalloc
 func (se *ShardedEngine) deliver(until Time) {
 	for len(se.inbox) > 0 && se.inbox[0].at < until {
 		m := se.inbox.pop()
@@ -311,6 +319,8 @@ func (se *ShardedEngine) RunFor(d Time) { se.RunUntil(se.now + d) }
 // Helpers claim shard indices through an atomic cursor; each shard is
 // claimed exactly once, so shard state is only ever touched by one
 // goroutine per window and the claim order cannot affect results.
+//
+//firmvet:noalloc
 func (se *ShardedEngine) runWindow(until Time) {
 	active := se.active[:0]
 	for i, sh := range se.shards {
@@ -346,6 +356,7 @@ func (se *ShardedEngine) helper(start <-chan struct{}) {
 	}
 }
 
+//firmvet:noalloc
 func (se *ShardedEngine) chew() {
 	for {
 		i := int(se.next.Add(1)) - 1

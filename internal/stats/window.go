@@ -72,6 +72,11 @@ func (w *Window) pull(n int32) {
 	nd.size = nd.cnt + w.nodes[nd.l].size + w.nodes[nd.r].size
 }
 
+// alloc takes a node from the free list, growing the pool only until the
+// steady state is reached (both appends land in w's field-owned backing
+// arrays, presized by NewWindow's capacity hint).
+//
+//firmvet:noalloc
 func (w *Window) alloc(x float64) int32 {
 	var n int32
 	if ln := len(w.free); ln > 0 {
@@ -105,6 +110,8 @@ func (w *Window) rotLeft(n int32) int32 {
 }
 
 // Add inserts one observation.
+//
+//firmvet:noalloc
 func (w *Window) Add(x float64) {
 	if math.IsNaN(x) {
 		w.nan++
@@ -115,6 +122,8 @@ func (w *Window) Add(x float64) {
 
 // insert may grow the node pool; winNode pointers are never held across
 // recursive calls.
+//
+//firmvet:noalloc
 func (w *Window) insert(n int32, x float64) int32 {
 	if n == 0 {
 		return w.alloc(x)
@@ -141,6 +150,8 @@ func (w *Window) insert(n int32, x float64) int32 {
 
 // Remove evicts one occurrence of x and reports whether it was present.
 // Removing a NaN evicts one NaN observation.
+//
+//firmvet:noalloc
 func (w *Window) Remove(x float64) bool {
 	if math.IsNaN(x) {
 		if w.nan == 0 {
@@ -154,6 +165,7 @@ func (w *Window) Remove(x float64) bool {
 	return ok
 }
 
+//firmvet:noalloc
 func (w *Window) remove(n int32, x float64) (int32, bool) {
 	if n == 0 {
 		return 0, false
@@ -179,6 +191,8 @@ func (w *Window) remove(n int32, x float64) (int32, bool) {
 }
 
 // join merges two treaps where every key in l precedes every key in r.
+//
+//firmvet:noalloc
 func (w *Window) join(l, r int32) int32 {
 	switch {
 	case l == 0:
@@ -197,6 +211,8 @@ func (w *Window) join(l, r int32) int32 {
 }
 
 // kth returns the k-th smallest observation, 0 <= k < Len()-nan.
+//
+//firmvet:noalloc
 func (w *Window) kth(k int32) float64 {
 	n := w.root
 	for {
@@ -219,6 +235,8 @@ func (w *Window) kth(k int32) float64 {
 // multiset with linear interpolation between closest ranks — bit-identical
 // to Percentile over a slice holding the same observations: an empty or
 // NaN-containing window yields NaN.
+//
+//firmvet:noalloc
 func (w *Window) Percentile(p float64) float64 {
 	n := w.size(w.root)
 	if n == 0 || w.nan > 0 {

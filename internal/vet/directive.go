@@ -1,0 +1,132 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive comments:
+//
+//	//firmvet:allow <analyzer> -- <reason>
+//	//firmvet:noalloc
+//
+// An allow directive waives findings of the named analyzer on its own line
+// (trailing comment) or the line directly below (comment above the flagged
+// statement). The reason after " -- " is mandatory: a waiver without a
+// recorded justification is itself a finding. A noalloc directive must sit
+// in the doc comment of a function declaration; it opts that function into
+// the noalloc analyzer's allocation-site checks.
+const (
+	allowPrefix      = "//firmvet:allow"
+	noallocDirective = "//firmvet:noalloc"
+)
+
+// directives indexes one package's firmvet comments.
+type directives struct {
+	// allow maps filename → line → analyzer names waived on that line.
+	allow map[string]map[int]map[string]bool
+	// noalloc holds the positions of well-placed noalloc directives
+	// (consumed by the noalloc analyzer via funcNoalloc).
+	noallocDecls map[*ast.FuncDecl]bool
+}
+
+// allowed reports whether a finding of analyzer at (file, line) is waived:
+// a directive on the finding's own line or on the line above covers it.
+func (d *directives) allowed(file string, line int, analyzer string) bool {
+	lines := d.allow[file]
+	if lines == nil {
+		return false
+	}
+	return lines[line][analyzer] || lines[line-1][analyzer]
+}
+
+// funcNoalloc reports whether fn carries a //firmvet:noalloc annotation.
+func (d *directives) funcNoalloc(fn *ast.FuncDecl) bool {
+	return d.noallocDecls[fn]
+}
+
+// collectDirectives scans the package's comments for firmvet directives,
+// validating them as it goes: unknown analyzer names, missing reasons, and
+// noalloc annotations not attached to a function are reported as findings
+// of the pseudo-analyzer "firmvet" (which cannot itself be waived).
+func collectDirectives(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) *directives {
+	d := &directives{
+		allow:        make(map[string]map[int]map[string]bool),
+		noallocDecls: make(map[*ast.FuncDecl]bool),
+	}
+	valid := analyzerNames()
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		*diags = append(*diags, Diagnostic{
+			File: p.Filename, Line: p.Line, Col: p.Column,
+			Analyzer: "firmvet", Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, file := range files {
+		// Well-placed noalloc directives: doc comments of func declarations.
+		placed := make(map[*ast.Comment]bool)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Doc != nil {
+				for _, c := range fn.Doc.List {
+					if strings.TrimSpace(c.Text) == noallocDirective {
+						placed[c] = true
+						d.noallocDecls[fn] = true
+					}
+				}
+			}
+		}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(c.Text)
+				switch {
+				case text == noallocDirective:
+					if !placed[c] {
+						report(c.Pos(), "//firmvet:noalloc must be in the doc comment of a function declaration")
+					}
+				case strings.HasPrefix(text, noallocDirective):
+					report(c.Pos(), "malformed directive %q: //firmvet:noalloc takes no arguments", text)
+				case strings.HasPrefix(text, allowPrefix):
+					d.addAllow(fset, c, text, valid, report)
+				case strings.HasPrefix(text, "//firmvet:"):
+					report(c.Pos(), "unknown firmvet directive %q (want allow or noalloc)", text)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// addAllow validates and indexes one allow directive.
+func (d *directives) addAllow(fset *token.FileSet, c *ast.Comment, text string, valid map[string]bool, report func(token.Pos, string, ...any)) {
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		report(c.Pos(), "malformed directive %q: want //firmvet:allow <analyzer> -- <reason>", text)
+		return
+	}
+	spec, reason, hasReason := strings.Cut(rest, " -- ")
+	name := strings.TrimSpace(spec)
+	if !valid[name] {
+		report(c.Pos(), "allow directive names unknown analyzer %q", name)
+		return
+	}
+	if !hasReason || strings.TrimSpace(reason) == "" {
+		report(c.Pos(), "allow directive for %q is missing its reason: want //firmvet:allow %s -- <reason>", name, name)
+		return
+	}
+	pos := fset.Position(c.Pos())
+	lines := d.allow[pos.Filename]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		d.allow[pos.Filename] = lines
+	}
+	names := lines[pos.Line]
+	if names == nil {
+		names = make(map[string]bool)
+		lines[pos.Line] = names
+	}
+	names[name] = true
+}

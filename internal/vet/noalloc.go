@@ -1,0 +1,264 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// noallocAnalyzer checks functions annotated //firmvet:noalloc for
+// syntactic allocation sites. The annotated functions are the repo's
+// steady-state hot paths — the controller tick, the order-statistics
+// window, the shard-step event loop, the batched forward/backward passes —
+// whose 0 allocs/op budgets the bench gates enforce at runtime; this check
+// catches the regression at review time instead.
+//
+// Flagged: make/new calls, append to a local slice with no preallocated
+// capacity, composite literals that escape (&T{...}) or always allocate
+// ([]T{...}, map literals), string concatenation, closure creation, and
+// interface conversions of non-pointer-shaped values.
+//
+// Two amortized idioms are recognized and allowed:
+//   - cap-guarded warm-up growth: the whole body of `if cap(buf) < n
+//     { ... }` is exempt — it runs while a reused buffer grows to its
+//     steady-state size, then never again;
+//   - appends whose destination is a reslice (buf[:0]), a field, an
+//     element, or anything declared outside the function — reused buffers
+//     that stop growing once warm.
+//
+// panic(...) arguments are exempt: a panic is already off the hot path.
+// Anything else needs //firmvet:allow noalloc -- <reason> on its line.
+var noallocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "check //firmvet:noalloc functions for syntactic allocation sites",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !pass.dirs.funcNoalloc(fn) || fn.Body == nil {
+				continue
+			}
+			checkNoallocFunc(pass, fn)
+		}
+	}
+}
+
+func checkNoallocFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if capGuarded(pass, n.Cond) {
+				return false // warm-up growth block: cold after the first calls
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "noalloc", "closure creation allocates; hoist the function or pass state explicitly")
+			return false
+		case *ast.CallExpr:
+			return checkNoallocCall(pass, fn, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "noalloc", "&composite literal escapes to the heap; reuse a preallocated value")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "noalloc", "slice literal allocates its backing array; reuse a preallocated buffer")
+				return false
+			case *types.Map:
+				pass.Reportf(n.Pos(), "noalloc", "map literal allocates; reuse a preallocated map")
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass, n) && !isConstExpr(pass, n) {
+				pass.Reportf(n.Pos(), "noalloc", "string concatenation allocates; write into a reused buffer")
+			}
+		case *ast.AssignStmt:
+			checkNoallocAssign(pass, n)
+		}
+		return true
+	})
+}
+
+// checkNoallocCall handles make/new/append, skips panic arguments, and
+// flags interface-boxing conversions at call boundaries. The return value
+// feeds ast.Inspect: false stops descent into the call.
+func checkNoallocCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) bool {
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[ident].(*types.Builtin); isBuiltin {
+			switch ident.Name {
+			case "panic":
+				return false // failure path, not the hot path
+			case "make":
+				pass.Reportf(call.Pos(), "noalloc", "make allocates; hoist to a reused buffer (warm-up growth must be cap-guarded)")
+			case "new":
+				pass.Reportf(call.Pos(), "noalloc", "new allocates; hoist to a reused value (warm-up growth must be cap-guarded)")
+			case "append":
+				if len(call.Args) > 0 && !appendDstAllowed(pass, fn, call.Args[0]) {
+					pass.Reportf(call.Pos(), "noalloc",
+						"append to a function-local slice grows without a preallocated cap; reuse a buffer (dst[:0]) or preallocate")
+				}
+			}
+			return true
+		}
+	}
+	// Conversion to an interface type: T(x) where T is an interface.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.IsInterface(tv.Type) {
+			reportBoxing(pass, call.Args[0], tv.Type)
+		}
+		return true
+	}
+	// Ordinary call: check each argument against an interface parameter.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return true
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice itself, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) {
+			reportBoxing(pass, arg, pt)
+		}
+	}
+	return true
+}
+
+// checkNoallocAssign flags string-append assignment and assignments that
+// box a concrete value into an interface-typed destination.
+func checkNoallocAssign(pass *Pass, as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isStringExpr(pass, as.Lhs[0]) {
+		pass.Reportf(as.Pos(), "noalloc", "string concatenation allocates; write into a reused buffer")
+		return
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := pass.Info.TypeOf(lhs)
+		if lt != nil && types.IsInterface(lt) {
+			reportBoxing(pass, as.Rhs[i], lt)
+		}
+	}
+}
+
+// reportBoxing flags arg when converting it to the interface type iface
+// copies it to the heap: concrete, non-pointer-shaped values box. Pointers,
+// channels, maps, and funcs are single words stored directly; interfaces
+// and nil never re-box.
+func reportBoxing(pass *Pass, arg ast.Expr, iface types.Type) {
+	at := pass.Info.TypeOf(arg)
+	if at == nil || types.IsInterface(at) {
+		return
+	}
+	if tv, ok := pass.Info.Types[arg]; ok && tv.IsNil() {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	case *types.Basic:
+		if at.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	pass.Reportf(arg.Pos(), "noalloc",
+		"%s converts to %s by value and boxes on the heap; pass a pointer or restructure", at, iface)
+}
+
+// appendDstAllowed reports whether appending to dst is an amortized reuse
+// rather than fresh growth: a reslice, a field or element, or anything
+// declared outside the function body (params, receivers, package state).
+func appendDstAllowed(pass *Pass, fn *ast.FuncDecl, dst ast.Expr) bool {
+	switch d := dst.(type) {
+	case *ast.ParenExpr:
+		return appendDstAllowed(pass, fn, d.X)
+	case *ast.SliceExpr, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(d)
+		if obj == nil {
+			return false
+		}
+		// Parameters and receivers are declared before the body starts;
+		// free variables and package state are declared outside the decl.
+		declaredInBody := fn.Body.Pos() <= obj.Pos() && obj.Pos() <= fn.Body.End()
+		return !declaredInBody || resliceDefined(pass, fn, obj)
+	default:
+		return false
+	}
+}
+
+// resliceDefined reports whether obj's declaration inside fn initializes it
+// from a reslice expression — `buf := shared[:0]` — so the local names
+// preallocated storage and appends into it are amortized reuse, the same as
+// appending to the reslice directly.
+func resliceDefined(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return !found
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.Info.Defs[id] != obj || i >= len(as.Rhs) {
+				continue
+			}
+			if _, ok := as.Rhs[i].(*ast.SliceExpr); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// capGuarded reports whether cond contains a cap(...) comparison — the
+// warm-up-growth guard for reused buffers.
+func capGuarded(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "cap") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isStringExpr reports whether e's type is string-kinded.
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether e is a compile-time constant (folded, so no
+// runtime allocation).
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,84 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nondetermAnalyzer forbids ambient-nondeterminism sources inside the
+// deterministic packages. Simulated components must take time from the
+// engine clock (sim.Engine.Now) and randomness from seeded streams
+// (sim.Stream / sim.DeriveSeed); anything read from the machine — wall
+// clock, global RNG, pid, core count — silently varies run to run and
+// breaks the byte-identical-output contract the golden tests pin.
+var nondetermAnalyzer = &Analyzer{
+	Name: "nondeterm",
+	Doc:  "forbid wall-clock, global-RNG, and machine-state reads in deterministic packages",
+	Run:  runNondeterm,
+}
+
+// forbiddenRefs maps package path → identifier → why it is forbidden.
+// References are flagged whether called or captured as a function value.
+var forbiddenRefs = map[string]map[string]string{
+	"time": {
+		"Now":       "reads the wall clock; use the sim engine clock (Engine.Now)",
+		"Since":     "reads the wall clock; compute durations from sim.Time values",
+		"Until":     "reads the wall clock; compute durations from sim.Time values",
+		"Sleep":     "blocks on real time; schedule an event on the sim engine instead",
+		"After":     "fires on real time; schedule an event on the sim engine instead",
+		"Tick":      "fires on real time; use sim.Ticker instead",
+		"NewTimer":  "fires on real time; schedule an event on the sim engine instead",
+		"NewTicker": "fires on real time; use sim.Ticker instead",
+		"AfterFunc": "fires on real time; schedule an event on the sim engine instead",
+	},
+	"os": {
+		"Getpid": "is machine state; derive identity from seeds or explicit ids",
+	},
+	"runtime": {
+		"NumCPU":     "makes results depend on the host; results must only depend on seeds and flags",
+		"GOMAXPROCS": "makes results depend on the host; take worker counts from explicit configuration",
+	},
+}
+
+// randConstructors are the math/rand package-level functions that build an
+// explicitly seeded generator; they are seedflow's concern, not nondeterm's.
+// Every other package-level math/rand function draws from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors, should the tree ever migrate.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNondeterm(pass *Pass) {
+	if !pass.deterministic() {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path, name := pn.Imported().Path(), sel.Sel.Name
+			if why, ok := forbiddenRefs[path][name]; ok {
+				pass.Reportf(sel.Pos(), "nondeterm", "%s.%s %s", path, name, why)
+				return true
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name] {
+				if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); isFunc {
+					pass.Reportf(sel.Pos(), "nondeterm",
+						"rand.%s draws from the process-global source; use a seeded stream (sim.Stream / sim.DeriveSeed)", name)
+				}
+			}
+			return true
+		})
+	}
+}

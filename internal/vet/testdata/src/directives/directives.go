@@ -1,0 +1,28 @@
+// Package directives is firmvet corpus: malformed firmvet directives are
+// findings of the pseudo-analyzer "firmvet" — and waive nothing.
+package directives
+
+import "time"
+
+//firmvet:noalloc
+var misplaced = 1
+
+// missingReason shows that an allow directive without " -- <reason>" is
+// rejected and the finding below it still fires.
+func missingReason() int64 {
+	//firmvet:allow nondeterm
+	return time.Now().UnixNano()
+}
+
+// unknownAnalyzer names an analyzer that does not exist.
+func unknownAnalyzer() int {
+	//firmvet:allow frobnicate -- no such analyzer
+	return misplaced
+}
+
+// argsOnNoalloc passes arguments to a directive that takes none.
+//
+//firmvet:noalloc always
+func argsOnNoalloc() {}
+
+//firmvet:bogus

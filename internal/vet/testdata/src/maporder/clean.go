@@ -1,0 +1,38 @@
+package maporder
+
+import "sort"
+
+// sortedKeys is the collect-then-sort idiom: the appended slice is passed
+// to a sort call after the loop, so the map's order never escapes.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type perKeyStats struct{ hits []int }
+
+// goodPerKey appends to state reached through the range value: each key's
+// slice sees only its own iterations, and integer accumulation commutes.
+func goodPerKey(m map[string]*perKeyStats, n int) int {
+	total := 0
+	for _, st := range m {
+		total += n
+		st.hits = append(st.hits, n)
+	}
+	return total
+}
+
+// waivedSum demonstrates the waiver path: one allow directive on the range
+// line covers every finding inside the loop.
+func waivedSum(m map[string]float64) float64 {
+	var sum float64
+	//firmvet:allow maporder -- corpus: demonstrates the range-line waiver; this sum feeds no golden output
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,35 @@
+// Package maporder is firmvet corpus: order-sensitive operations inside map
+// iteration that the maporder analyzer must flag.
+package maporder
+
+import (
+	"fmt"
+	"strings"
+)
+
+// badSum rounds in map order.
+func badSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// badCollect builds a map-ordered slice that is never sorted.
+func badCollect(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return names
+}
+
+// badEmit sends bytes and messages in map order three ways.
+func badEmit(m map[string]int, ch chan string, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Println(k, v)
+		sb.WriteString(k)
+		ch <- k
+	}
+}

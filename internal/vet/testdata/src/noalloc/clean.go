@@ -1,0 +1,42 @@
+package noalloc
+
+import "fmt"
+
+// goodReuse exercises every allowed idiom: cap-guarded warm-up growth, a
+// local defined as a reslice of preallocated storage, field appends, and
+// panic arguments (the failure path is off the hot path).
+//
+//firmvet:noalloc
+func (r *ring) goodReuse(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("noalloc corpus: negative n %d", n))
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]int, 0, n)
+	}
+	buf := r.buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	r.buf = buf
+	r.items = append(r.items, item{k: n})
+}
+
+// unannotatedAlloc may allocate freely: noalloc is opt-in per function.
+func unannotatedAlloc(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// waivedGrow demonstrates the waiver path for a deliberate cold-path
+// allocation inside an annotated function.
+//
+//firmvet:noalloc
+func (r *ring) waivedGrow(n int) {
+	//firmvet:allow noalloc -- corpus: demonstrates the waiver path; this resize runs once at setup
+	tmp := make([]int, n)
+	r.buf = tmp
+}

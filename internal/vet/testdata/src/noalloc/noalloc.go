@@ -1,0 +1,27 @@
+// Package noalloc is firmvet corpus: allocation sites inside
+// //firmvet:noalloc-annotated functions that the noalloc analyzer must flag.
+package noalloc
+
+import "fmt"
+
+type item struct{ k, v int }
+
+type ring struct {
+	buf   []int
+	items []item
+}
+
+// badAlloc allocates seven ways; every site is a finding.
+//
+//firmvet:noalloc
+func (r *ring) badAlloc(n int) func() int {
+	scratch := make([]int, n)
+	p := new(item)
+	var local []int
+	local = append(local, n)
+	boxed := fmt.Sprint(n)
+	msg := "n=" + boxed
+	esc := &item{k: n}
+	_, _, _, _, _ = scratch, p, local, msg, esc
+	return func() int { return n }
+}

@@ -1,0 +1,25 @@
+package nondeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seededDraw uses an explicitly seeded stream: the constructors are
+// seedflow's concern, never nondeterm's.
+func seededDraw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// waivedWallClock demonstrates the waiver path: an allow directive with a
+// recorded reason suppresses the finding on the line below it.
+func waivedWallClock() int64 {
+	//firmvet:allow nondeterm -- corpus: demonstrates the waiver path; this read feeds no measured result
+	return time.Now().UnixNano()
+}
+
+// durations built from constants never touch the clock.
+func backoff(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}

@@ -1,0 +1,28 @@
+// Package nondeterm is firmvet corpus: ambient machine-state reads the
+// nondeterm analyzer must flag. Every line below that touches the wall
+// clock, the global RNG, the pid, or the core count appears in the golden
+// diagnostics.
+package nondeterm
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+// stampEvent reads machine state six ways; all six are findings.
+func stampEvent() (int64, int) {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	elapsed := time.Since(start)
+	jitter := rand.Float64()
+	pid := os.Getpid()
+	workers := runtime.NumCPU()
+	_ = elapsed
+	_ = jitter
+	return start.UnixNano(), pid + workers
+}
+
+// captured references are findings too, not just calls.
+var clock func() time.Time = time.Now

@@ -1,0 +1,19 @@
+package seedflow
+
+import (
+	"math/rand"
+
+	"firm/internal/sim"
+)
+
+// goodSeeds constructs streams every accepted way: a direct DeriveSeed
+// call, a sim.Stream with a seed-named parameter, a *Seed-carrying field,
+// and a local traced back to DeriveSeed.
+func goodSeeds(parentSeed int64, c genCfg) []*rand.Rand {
+	a := rand.New(rand.NewSource(sim.DeriveSeed(parentSeed, "corpus/a")))
+	b := sim.Stream(parentSeed, "corpus/b")
+	d := rand.New(rand.NewSource(c.NoiseSeed))
+	local := sim.DeriveSeed(parentSeed, "corpus/local")
+	e := rand.New(rand.NewSource(local))
+	return []*rand.Rand{a, b, d, e}
+}
