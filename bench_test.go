@@ -192,3 +192,4 @@ func BenchmarkTopologyGenerate(b *testing.B)    { perf.TopologyGenerate(b) }
 func BenchmarkTopologyGenerate10k(b *testing.B) { perf.TopologyGenerate10k(b) }
 func BenchmarkWorkloadArrivals(b *testing.B)    { perf.WorkloadArrivals(b) }
 func BenchmarkShardStep(b *testing.B)           { perf.ShardStep(b) }
+func BenchmarkScenarioStep(b *testing.B)        { perf.ScenarioStep(b) }

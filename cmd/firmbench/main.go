@@ -78,6 +78,7 @@ import (
 	"firm/internal/report"
 	"firm/internal/rollout"
 	"firm/internal/runner"
+	"firm/internal/scenario"
 )
 
 // tolMetricFlag collects repeated -tol-metric name=x overrides.
@@ -228,6 +229,7 @@ func main() {
 		scale    = flag.String("scale", "quick", "tiny|quick|full")
 		seed     = flag.Int64("seed", 42, "random seed")
 		list     = flag.Bool("list", false, "list experiment ids")
+		listScen = flag.Bool("scenarios", false, "list the composable fault-scenario catalog (the faultsweep experiment's cells)")
 		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		rollWk   = flag.Int("rollout", 0, "RL episode-rollout workers per training campaign (0 = share -parallel budget)")
 		rollOv   = flag.Bool("rollout-overlap", true, "double-buffer rollout rounds: learner replays finished episodes while later ones roll out (false = strict end-of-round barrier; results are byte-identical either way)")
@@ -302,6 +304,15 @@ func main() {
 
 	if *serve != "" {
 		os.Exit(runWorker(*serve))
+	}
+
+	if *listScen {
+		fmt.Println("fault scenarios (firmbench -run faultsweep runs each as one campaign cell;")
+		fmt.Println("compose your own with scenario.Mode/Sequence/Overlay):")
+		for _, line := range scenario.Describe() {
+			fmt.Println("  " + line)
+		}
+		return
 	}
 
 	ids := experiments.IDs()

@@ -44,6 +44,58 @@ type App struct {
 	// onResult, if set, observes every request outcome (used by workload
 	// recorders and the FIRM detector).
 	onResult func(Result)
+
+	// retry, if set, re-submits shed or dropped calls (client-side retry
+	// amplification — the retry-storm degradation mode). Nil means the
+	// pre-scenario behavior: one attempt per call.
+	retry *RetryPolicy
+
+	// edgeFaults, if non-empty, degrades specific caller→callee edges with
+	// added delay and probabilistic loss (partial network partitions).
+	// faultRng drives the loss draws; it must be scenario-seeded so runs
+	// stay deterministic per (Spec, seed).
+	edgeFaults map[Edge]EdgeFault
+	faultRng   *rand.Rand
+}
+
+// RetryPolicy models client-side retries: a shed or dropped call is
+// re-submitted up to MaxRetries times after a fixed Backoff. Under
+// overload, retries amplify offered load — the storm the scenario library
+// exploits.
+type RetryPolicy struct {
+	MaxRetries int      // re-submissions per call beyond the first attempt
+	Backoff    sim.Time // wait before each re-submission
+}
+
+// Edge identifies a directed caller→callee service pair. The caller of an
+// endpoint root is the pseudo-service "client".
+type Edge struct {
+	From, To string
+}
+
+// EdgeFault degrades one dependency edge: Delay is added to each RPC hop
+// on the edge and Drop is the probability an RPC on the edge is lost
+// before reaching the callee (a lost RPC behaves like a routing shed:
+// retriable, no span).
+type EdgeFault struct {
+	Delay sim.Time
+	Drop  float64
+}
+
+// SetRetryPolicy arms (or, with nil, disarms) client-side retries.
+func (a *App) SetRetryPolicy(p *RetryPolicy) { a.retry = p }
+
+// RetryPolicy returns the armed retry policy, or nil.
+func (a *App) RetryPolicy() *RetryPolicy { return a.retry }
+
+// SetEdgeFaults installs per-edge network faults. rng drives drop draws
+// and must be seeded via sim.DeriveSeed by the caller; a nil map (or nil
+// rng with any Drop > 0) restores fault-free behavior. No RNG is consumed
+// on edges without faults, so arming faults on edge X does not perturb
+// traffic elsewhere.
+func (a *App) SetEdgeFaults(faults map[Edge]EdgeFault, rng *rand.Rand) {
+	a.edgeFaults = faults
+	a.faultRng = rng
 }
 
 // reqCtx tracks one in-flight request across its workflow closures.
@@ -102,7 +154,7 @@ func (a *App) Submit(endpoint string, onDone func(Result)) error {
 		start:  a.eng.Now(),
 		onDone: onDone,
 	}
-	a.exec(ctx, 0, ep.Root, false, func(ok bool) {
+	a.exec(ctx, 0, "client", ep.Root, false, func(ok bool) {
 		ctx.rootDone = true
 		ctx.latency = a.eng.Now() - ctx.start
 		if !ok {
@@ -132,16 +184,39 @@ func (a *App) SubmitMix(r *rand.Rand, onDone func(Result)) (string, error) {
 // exec runs one workflow call: route to a replica, wait in its queue, do
 // local compute, then run child groups, then report. Span.Start is arrival
 // at the container (so spans include queueing, as real tracing does).
-func (a *App) exec(ctx *reqCtx, parent trace.SpanID, call *topology.Call, background bool, onDone func(ok bool)) {
+func (a *App) exec(ctx *reqCtx, parent trace.SpanID, caller string, call *topology.Call, background bool, onDone func(ok bool)) {
+	a.execAttempt(ctx, parent, caller, call, background, 0, onDone)
+}
+
+// execAttempt is one attempt of a workflow call. When a RetryPolicy is
+// armed, a shed, partition-dropped, or queue-dropped attempt re-submits
+// after Backoff; ctx.outstanding stays held across the wait so a trace
+// cannot seal under a pending retry (including background stragglers).
+func (a *App) execAttempt(ctx *reqCtx, parent trace.SpanID, caller string, call *topology.Call, background bool, attempt int, onDone func(ok bool)) {
 	ctx.outstanding++
+	// fail ends this attempt: either hand the held outstanding slot to a
+	// scheduled re-attempt, or report failure. The trailing maybeFinish is
+	// a no-op on synchronous paths (the root is never done yet) but seals
+	// traces whose last pending work was a failed asynchronous retry.
+	fail := func() {
+		if a.retry != nil && attempt < a.retry.MaxRetries {
+			a.eng.Schedule(a.retry.Backoff, func() {
+				ctx.outstanding--
+				a.execAttempt(ctx, parent, caller, call, background, attempt+1, onDone)
+			})
+			return
+		}
+		ctx.outstanding--
+		onDone(false)
+		ctx.maybeFinish()
+	}
 	rs := a.cl.ReplicaSet(call.Service)
 	var target *cluster.Container
 	if rs != nil {
 		target = rs.Pick()
 	}
 	if target == nil { // no ready replica: request shed at routing
-		ctx.outstanding--
-		onDone(false)
+		fail()
 		return
 	}
 	svc := a.Spec.Services[call.Service]
@@ -152,6 +227,15 @@ func (a *App) exec(ctx *reqCtx, parent trace.SpanID, call *topology.Call, backgr
 	// localization relies on.
 	dispatch := a.eng.Now()
 	hop := a.Spec.BaseRPCDelay + target.NetDelay()
+	if len(a.edgeFaults) > 0 {
+		if f, ok := a.edgeFaults[Edge{From: caller, To: call.Service}]; ok {
+			if f.Drop > 0 && a.faultRng != nil && a.faultRng.Float64() < f.Drop {
+				fail() // RPC lost in the partition before reaching the callee
+				return
+			}
+			hop += f.Delay
+		}
+	}
 
 	a.eng.Schedule(hop, func() {
 		var queued sim.Time
@@ -160,7 +244,7 @@ func (a *App) exec(ctx *reqCtx, parent trace.SpanID, call *topology.Call, backgr
 			Demand: svc.Demand,
 			OnDone: func(q, _ sim.Time) {
 				queued = q
-				a.runGroups(ctx, spanID, call.Children, func(ok bool) {
+				a.runGroups(ctx, spanID, call.Service, call.Children, func(ok bool) {
 					// Response hop back to the caller, then seal the span.
 					a.eng.Schedule(hop, func() {
 						a.Coord.Emit(trace.Span{
@@ -186,9 +270,7 @@ func (a *App) exec(ctx *reqCtx, parent trace.SpanID, call *topology.Call, backgr
 					Service: call.Service, Instance: target.ID,
 					Start: dispatch, End: a.eng.Now(), Background: background,
 				})
-				ctx.outstanding--
-				onDone(false)
-				ctx.maybeFinish()
+				fail()
 			},
 		})
 	})
@@ -197,7 +279,7 @@ func (a *App) exec(ctx *reqCtx, parent trace.SpanID, call *topology.Call, backgr
 // runGroups executes the children of a call honoring composition modes:
 // consecutive Par children form a concurrent group; Seq children are
 // barriers; Background children start when reached and are not awaited.
-func (a *App) runGroups(ctx *reqCtx, parent trace.SpanID, children []topology.Child, onDone func(ok bool)) {
+func (a *App) runGroups(ctx *reqCtx, parent trace.SpanID, caller string, children []topology.Child, onDone func(ok bool)) {
 	// Partition into ordered groups.
 	type group struct {
 		calls []*topology.Call
@@ -207,7 +289,7 @@ func (a *App) runGroups(ctx *reqCtx, parent trace.SpanID, children []topology.Ch
 		ch := children[i]
 		switch ch.Mode {
 		case topology.Background:
-			a.exec(ctx, parent, ch.Call, true, func(bool) {})
+			a.exec(ctx, parent, caller, ch.Call, true, func(bool) {})
 		case topology.Par:
 			g := group{calls: []*topology.Call{ch.Call}}
 			for i+1 < len(children) && children[i+1].Mode == topology.Par {
@@ -228,7 +310,7 @@ func (a *App) runGroups(ctx *reqCtx, parent trace.SpanID, children []topology.Ch
 		}
 		remaining := len(groups[i].calls)
 		for _, c := range groups[i].calls {
-			a.exec(ctx, parent, c, false, func(childOK bool) {
+			a.exec(ctx, parent, caller, c, false, func(childOK bool) {
 				if !childOK {
 					ok = false
 				}

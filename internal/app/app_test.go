@@ -1,6 +1,7 @@
 package app
 
 import (
+	"math/rand"
 	"testing"
 
 	"firm/internal/cluster"
@@ -306,5 +307,111 @@ func TestCoordinatorNoPendingLeak(t *testing.T) {
 	eng.RunUntil(sim.Minute)
 	if a.Coord.PendingCount() != 0 {
 		t.Fatalf("coordinator leaked %d pending traces", a.Coord.PendingCount())
+	}
+}
+
+// twoTierSpec is a minimal client->a->b workflow for fault-hook tests.
+func twoTierSpec() *topology.Spec {
+	leaf := &topology.Call{Service: "svc-b", Compute: 2 * sim.Millisecond}
+	root := &topology.Call{Service: "svc-a", Compute: 1 * sim.Millisecond,
+		Children: []topology.Child{{Mode: topology.Seq, Call: leaf}}}
+	mk := func(name string, class topology.ServiceClass) *topology.Service {
+		return &topology.Service{Name: name, Class: class, Replicas: 1,
+			Demand: cluster.V(1, 150, 0.5, 5, 80),
+			Limits: cluster.V(2, 600, 2, 50, 300)}
+	}
+	return &topology.Spec{
+		Name: "twotier",
+		Services: map[string]*topology.Service{
+			"svc-a": mk("svc-a", topology.Web),
+			"svc-b": mk("svc-b", topology.Logic),
+		},
+		Endpoints:    []topology.Endpoint{{Name: "get", Weight: 1, Root: root}},
+		SLO:          500 * sim.Millisecond,
+		BaseRPCDelay: 300 * sim.Microsecond,
+	}
+}
+
+func TestRetryRecoversShedCall(t *testing.T) {
+	run := func(policy *RetryPolicy) Result {
+		eng, a, _ := harness(t, twoTierSpec(), 1)
+		a.SetRetryPolicy(policy)
+		rs := a.Cluster().ReplicaSet("svc-b")
+		victim := rs.Containers()[0]
+		limits := victim.Limits()
+		if !rs.RemoveReplica(victim) {
+			t.Fatal("could not remove svc-b replica")
+		}
+		// Capacity returns after 20ms; only a retrying client survives.
+		eng.Schedule(20*sim.Millisecond, func() {
+			if _, err := rs.AddReplica(limits, false, true); err != nil {
+				t.Fatal(err)
+			}
+		})
+		var res Result
+		done := false
+		a.Submit("get", func(r Result) { res = r; done = true })
+		eng.RunUntil(eng.Now() + 5*sim.Second)
+		if !done {
+			t.Fatal("request never finished")
+		}
+		return res
+	}
+	if res := run(nil); !res.Dropped {
+		t.Fatalf("without retries the shed call must drop the request: %+v", res)
+	}
+	res := run(&RetryPolicy{MaxRetries: 5, Backoff: 10 * sim.Millisecond})
+	if res.Dropped {
+		t.Fatalf("with retries the request must recover: %+v", res)
+	}
+	if res.Latency < 20*sim.Millisecond {
+		t.Fatalf("recovered latency %v should include the backoff wait", res.Latency)
+	}
+}
+
+func TestEdgeFaultDelayAddsToHops(t *testing.T) {
+	run := func(faults map[Edge]EdgeFault) Result {
+		eng, a, _ := harness(t, twoTierSpec(), 1)
+		a.SetEdgeFaults(faults, nil)
+		var res Result
+		a.Submit("get", func(r Result) { res = r })
+		eng.RunUntil(eng.Now() + 5*sim.Second)
+		return res
+	}
+	base := run(nil)
+	delayed := run(map[Edge]EdgeFault{
+		{From: "svc-a", To: "svc-b"}: {Delay: 50 * sim.Millisecond},
+	})
+	if base.Dropped || delayed.Dropped {
+		t.Fatalf("no request should drop: base=%+v delayed=%+v", base, delayed)
+	}
+	// The fault edge is traversed twice (request + response hop).
+	extra := delayed.Latency - base.Latency
+	if extra < 100*sim.Millisecond {
+		t.Fatalf("edge delay added %v, want >= 100ms", extra)
+	}
+}
+
+func TestEdgeFaultDropLosesRPC(t *testing.T) {
+	eng, a, db := harness(t, twoTierSpec(), 1)
+	a.SetEdgeFaults(map[Edge]EdgeFault{
+		{From: "svc-a", To: "svc-b"}: {Drop: 1},
+	}, rand.New(rand.NewSource(7)))
+	var res Result
+	done := false
+	a.Submit("get", func(r Result) { res = r; done = true })
+	eng.RunUntil(eng.Now() + 5*sim.Second)
+	if !done {
+		t.Fatal("request never finished")
+	}
+	if !res.Dropped {
+		t.Fatalf("certain drop on the only child edge must drop the request: %+v", res)
+	}
+	for _, tr := range db.Select(tracedb.Query{}) {
+		for _, sp := range tr.Spans {
+			if sp.Service == "svc-b" {
+				t.Fatal("dropped RPC must not reach svc-b")
+			}
+		}
 	}
 }

@@ -228,3 +228,50 @@ func TestGenSweepGoldenAcrossShards(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultSweepGoldenAcrossWorkers pins the fault-scenario library sweep:
+// every catalog scenario's detection/localization/mitigation row and the
+// k-means fault-family characterization must render byte-identically at
+// every worker configuration — scenario players derive all randomness from
+// (campaign seed, scenario key), so cells are placement-independent.
+func TestFaultSweepGoldenAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full scenario catalog; run without -short")
+	}
+	goldenCheck(t, "faultsweep_tiny", func() (Reportable, error) {
+		return FaultSweep(TinyScale(), 42)
+	})
+}
+
+// TestFaultSweepGoldenAcrossShards pins the sharded scenario contract
+// against the same goldens: the sharded cell arms its player on the shard
+// owning the victim service, and its row must render byte-identically at
+// shards 1 and 4 (the sweep's structural families are excluded from that
+// cell precisely because replica churn is not shard-invariant).
+func TestFaultSweepGoldenAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full scenario catalog; run without -short")
+	}
+	wantText, err := os.ReadFile(filepath.Join("testdata", "faultsweep_tiny.golden"))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	wantJSON, err := os.ReadFile(filepath.Join("testdata", "faultsweep_tiny.json"))
+	if err != nil {
+		t.Fatalf("missing golden JSON file (regenerate with -update): %v", err)
+	}
+	defer SetShards(0)
+	for _, shards := range []int{1, 4} {
+		SetShards(shards)
+		text, jsonOut := renderAtWorkers(t, 2, 2, func() (Reportable, error) {
+			return FaultSweep(TinyScale(), 42)
+		})
+		if text != string(wantText) {
+			t.Errorf("faultsweep at shards=%d differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+				shards, text, wantText)
+		}
+		if string(jsonOut) != string(wantJSON) {
+			t.Errorf("faultsweep JSON at shards=%d differs from golden", shards)
+		}
+	}
+}

@@ -136,6 +136,7 @@ func init() {
 	registerJobs("fig9a", fig9aJobs)
 	registerJobs("fig9b", fig9bJobs)
 	registerJobs("gensweep", gensweepJobs)
+	registerJobs("faultsweep", faultsweepJobs)
 }
 
 // mapJobs runs a registered set's job list: remotely when a dispatcher is

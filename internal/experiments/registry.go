@@ -21,20 +21,21 @@ func wrap[T Reportable](fn func(Scale, int64) (T, error)) Runner {
 }
 
 var registry = map[string]Runner{
-	"fig1":     wrap(Fig1),
-	"table1":   wrap(Table1),
-	"fig3":     wrap(Fig3),
-	"fig4":     wrap(Fig4),
-	"fig5":     wrap(Fig5),
-	"fig9a":    wrap(Fig9a),
-	"fig9b":    wrap(Fig9b),
-	"fig9c":    wrap(Fig9c),
-	"gensweep": wrap(GenSweep),
-	"fig10":    wrap(Fig10),
-	"fig11a":   wrap(Fig11a),
-	"fig11b":   wrap(Fig11b),
-	"table6":   wrap(Table6),
-	"headline": wrap(Headline),
+	"fig1":       wrap(Fig1),
+	"table1":     wrap(Table1),
+	"fig3":       wrap(Fig3),
+	"fig4":       wrap(Fig4),
+	"fig5":       wrap(Fig5),
+	"fig9a":      wrap(Fig9a),
+	"fig9b":      wrap(Fig9b),
+	"fig9c":      wrap(Fig9c),
+	"gensweep":   wrap(GenSweep),
+	"faultsweep": wrap(FaultSweep),
+	"fig10":      wrap(Fig10),
+	"fig11a":     wrap(Fig11a),
+	"fig11b":     wrap(Fig11b),
+	"table6":     wrap(Table6),
+	"headline":   wrap(Headline),
 }
 
 // Get returns the registered experiment runner for id.

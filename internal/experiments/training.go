@@ -482,9 +482,12 @@ func measureMitigation(spec *topology.Spec, seed int64, events int,
 		targets := loadedTargets()
 		tgt := targets[r.Intn(len(targets))]
 		kind := kinds[r.Intn(len(kinds))]
-		stop := b.Injector.Inject(injector.Injection{
+		stop, err := b.Injector.Inject(injector.Injection{
 			Kind: kind, Target: tgt, Intensity: 1.0, Duration: mitigationMaxDur,
 		})
+		if err != nil {
+			return 0, err
+		}
 		t0 := b.Eng.Now()
 		deadline := t0 + mitigationMaxDur
 		violStart := sim.Time(-1)

@@ -37,6 +37,19 @@ type ShardedBench struct {
 	Clusters []*cluster.Cluster
 	// NumNodes is the size of the virtual node fleet the placement opened.
 	NumNodes int
+
+	assign map[string]int
+}
+
+// ShardOf returns the shard index hosting the named service's replicas
+// (-1 if unknown). Scenario players target the owning shard's engine and
+// cluster.
+func (b *ShardedBench) ShardOf(service string) int {
+	sh, ok := b.assign[service]
+	if !ok {
+		return -1
+	}
+	return sh
 }
 
 // NewSharded builds a sharded testbed.
@@ -128,7 +141,7 @@ func NewSharded(opts ShardedOptions) (*ShardedBench, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedBench{Opts: opts, Eng: se, App: a, Clusters: clusters, NumNodes: numNodes}, nil
+	return &ShardedBench{Opts: opts, Eng: se, App: a, Clusters: clusters, NumNodes: numNodes, assign: assign}, nil
 }
 
 // AttachWorkload creates and starts the open-loop generator on the home

@@ -69,6 +69,38 @@ type Injection struct {
 	Start     sim.Time // filled by the injector
 }
 
+// ValidationError reports why an Injection was rejected. It is a typed
+// error so callers can distinguish a malformed request from an actuation
+// failure with errors.As.
+type ValidationError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("injector: invalid injection: %s %s", e.Field, e.Reason)
+}
+
+// Validate rejects injections that would silently inject garbage: an
+// out-of-range kind, an intensity outside [0,1] (NaN included), a
+// non-positive duration, or a missing target for the container-targeted
+// kinds (everything but Workload, which is cluster-wide by definition).
+func (inj Injection) Validate() error {
+	if inj.Kind < 0 || inj.Kind >= NumKinds {
+		return &ValidationError{Field: "Kind", Reason: fmt.Sprintf("%d is not a Table 5 anomaly type", int(inj.Kind))}
+	}
+	if !(inj.Intensity >= 0 && inj.Intensity <= 1) { // NaN fails both comparisons
+		return &ValidationError{Field: "Intensity", Reason: fmt.Sprintf("%v outside [0,1]", inj.Intensity)}
+	}
+	if inj.Duration <= 0 {
+		return &ValidationError{Field: "Duration", Reason: fmt.Sprintf("%v is not positive", inj.Duration)}
+	}
+	if inj.Target == nil && inj.Kind != Workload {
+		return &ValidationError{Field: "Target", Reason: fmt.Sprintf("nil for container-targeted kind %s", inj.Kind)}
+	}
+	return nil
+}
+
 // Record is a completed or active injection with ground-truth labeling info.
 type Record struct {
 	Injection
@@ -111,14 +143,12 @@ func New(eng *sim.Engine, seed int64) *Injector {
 	}
 }
 
-// Inject starts an anomaly. It returns a cancel function that ends the
-// anomaly early (idempotent).
-func (in *Injector) Inject(inj Injection) func() {
-	if inj.Intensity < 0 {
-		inj.Intensity = 0
-	}
-	if inj.Intensity > 1 {
-		inj.Intensity = 1
+// Inject starts an anomaly after validating it (a rejected injection
+// actuates nothing and leaves no history). It returns a cancel function
+// that ends the anomaly early (idempotent).
+func (in *Injector) Inject(inj Injection) (func(), error) {
+	if err := inj.Validate(); err != nil {
+		return nil, err
 	}
 	inj.Start = in.eng.Now()
 	rec := &Record{Injection: inj, End: inj.Start + inj.Duration}
@@ -144,10 +174,33 @@ func (in *Injector) Inject(inj Injection) func() {
 			in.history[histIdx].End = now
 		}
 	}
-	if inj.Duration > 0 {
-		in.eng.Schedule(inj.Duration, stop)
+	in.eng.Schedule(inj.Duration, stop)
+	return stop, nil
+}
+
+// Record appends a ground-truth record for an anomaly actuated outside the
+// injector — the scenario player (internal/scenario) drives its own ramps,
+// feedback loops, and partitions, but shares the injector's history so SVM
+// training labels and localization scoring read one source of truth. The
+// injection is validated exactly like Inject; the returned stop clamps the
+// record's end to the stop time (idempotent). Nothing is actuated.
+func (in *Injector) Record(inj Injection) (func(), error) {
+	if err := inj.Validate(); err != nil {
+		return nil, err
 	}
-	return stop
+	inj.Start = in.eng.Now()
+	in.history = append(in.history, Record{Injection: inj, End: inj.Start + inj.Duration})
+	histIdx := len(in.history) - 1
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if now := in.eng.Now(); now < in.history[histIdx].End {
+			in.history[histIdx].End = now
+		}
+	}, nil
 }
 
 // apply actuates the anomaly and returns its undo.

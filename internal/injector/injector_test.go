@@ -1,6 +1,8 @@
 package injector
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"firm/internal/cluster"
@@ -60,7 +62,10 @@ func TestResourceStressAppliesAndExpires(t *testing.T) {
 
 func TestEarlyStopIdempotent(t *testing.T) {
 	eng, _, c, in := setup(t)
-	stop := in.Inject(Injection{Kind: CPUStress, Target: c, Intensity: 0.5, Duration: sim.Minute})
+	stop, err := in.Inject(Injection{Kind: CPUStress, Target: c, Intensity: 0.5, Duration: sim.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.InjectedLoad()[cluster.CPU] == 0 {
 		t.Fatal("cpu stress not applied")
 	}
@@ -103,11 +108,60 @@ func TestWorkloadSpikeHook(t *testing.T) {
 	}
 }
 
-func TestIntensityClamped(t *testing.T) {
+// TestInjectRejectsInvalid is the table-driven rejection suite: garbage
+// injections must come back as *ValidationError naming the offending field,
+// actuate nothing, and leave no history record.
+func TestInjectRejectsInvalid(t *testing.T) {
 	_, _, c, in := setup(t)
-	in.Inject(Injection{Kind: IOStress, Target: c, Intensity: 5, Duration: sim.Second})
-	if got := c.InjectedLoad()[cluster.IOBW]; got != 2.5*100 {
-		t.Fatalf("intensity not clamped to 1: load %v", got)
+	cases := []struct {
+		name  string
+		inj   Injection
+		field string
+	}{
+		{"intensity above 1", Injection{Kind: IOStress, Target: c, Intensity: 5, Duration: sim.Second}, "Intensity"},
+		{"negative intensity", Injection{Kind: CPUStress, Target: c, Intensity: -0.1, Duration: sim.Second}, "Intensity"},
+		{"NaN intensity", Injection{Kind: CPUStress, Target: c, Intensity: math.NaN(), Duration: sim.Second}, "Intensity"},
+		{"zero duration", Injection{Kind: CPUStress, Target: c, Intensity: 0.5}, "Duration"},
+		{"negative duration", Injection{Kind: MemBWStress, Target: c, Intensity: 0.5, Duration: -sim.Second}, "Duration"},
+		{"nil target for cpu", Injection{Kind: CPUStress, Intensity: 0.5, Duration: sim.Second}, "Target"},
+		{"nil target for net-delay", Injection{Kind: NetworkDelay, Intensity: 0.5, Duration: sim.Second}, "Target"},
+		{"kind below range", Injection{Kind: Kind(-1), Target: c, Intensity: 0.5, Duration: sim.Second}, "Kind"},
+		{"kind above range", Injection{Kind: NumKinds, Target: c, Intensity: 0.5, Duration: sim.Second}, "Kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stop, err := in.Inject(tc.inj)
+			if err == nil {
+				t.Fatal("invalid injection accepted")
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error %T is not a *ValidationError", err)
+			}
+			if ve.Field != tc.field {
+				t.Fatalf("rejected field %q, want %q", ve.Field, tc.field)
+			}
+			if stop != nil {
+				t.Fatal("rejected injection returned a cancel func")
+			}
+		})
+	}
+	if got := c.InjectedLoad(); got != (cluster.Vector{}) {
+		t.Fatalf("rejected injections actuated load %v", got)
+	}
+	if c.NetDelay() != 0 {
+		t.Fatal("rejected injections actuated net delay")
+	}
+	if n := len(in.History()); n != 0 {
+		t.Fatalf("rejected injections left %d history records", n)
+	}
+	// Record applies the same validation.
+	if _, err := in.Record(Injection{Kind: CPUStress, Intensity: 0.5, Duration: sim.Second}); err == nil {
+		t.Fatal("Record accepted a nil target")
+	}
+	// Workload is the one kind that is legitimately cluster-wide.
+	if _, err := in.Inject(Injection{Kind: Workload, Intensity: 0.5, Duration: sim.Second}); err != nil {
+		t.Fatalf("valid workload injection rejected: %v", err)
 	}
 }
 
@@ -147,6 +201,68 @@ func TestConcurrentInjectionsCompose(t *testing.T) {
 	eng.RunUntil(5 * sim.Second)
 	if got := c.InjectedLoad()[cluster.MemBW]; got != 0 {
 		t.Fatalf("after both expire %v", got)
+	}
+}
+
+// TestOverlappingInjectionsGroundTruth pins the overlap semantics two
+// anomalies on one container must keep: load composes additively and
+// reverts piecewise as each ends, and the history windows label the target
+// with the kind whose interval actually covers the queried time — including
+// after an early stop clamps one record but not the other.
+func TestOverlappingInjectionsGroundTruth(t *testing.T) {
+	eng, _, c, in := setup(t)
+	// [0s, 6s) membw; [2s, 10s) llc — overlapping on the same container.
+	if _, err := in.Inject(Injection{Kind: MemBWStress, Target: c, Intensity: 0.4, Duration: 6 * sim.Second}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(2 * sim.Second)
+	stopLLC, err := in.Inject(Injection{Kind: LLCStress, Target: c, Intensity: 0.8, Duration: 8 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMem := 0.4 * 2.5 * 1000.0 // intensity × LoadScale × membw limit
+	wantLLC := 0.8 * 2.5 * 4.0    // intensity × LoadScale × llc limit
+	if got := c.InjectedLoad(); got[cluster.MemBW] != wantMem || got[cluster.LLC] != wantLLC {
+		t.Fatalf("overlapped load %v, want membw %v llc %v", got, wantMem, wantLLC)
+	}
+
+	// During the overlap both kinds are active on the instance; the
+	// per-service map keeps one kind per service (later record wins).
+	inst := in.ActiveInstancesAt(3 * sim.Second)
+	if inst[c.ID] != LLCStress {
+		t.Fatalf("ActiveInstancesAt in overlap = %v", inst)
+	}
+	if got := in.ActiveDuringOverlap(2*sim.Second, 6*sim.Second, sim.Second); got[c.ID] != LLCStress {
+		t.Fatalf("ActiveDuringOverlap = %v", got)
+	}
+	// A window overlapping only the membw interval sees only membw.
+	if got := in.ActiveDuringOverlap(0, 2*sim.Second, sim.Second); got[c.ID] != MemBWStress {
+		t.Fatalf("pre-overlap window = %v", got)
+	}
+
+	// First injection expires: its load component reverts, the other stays.
+	eng.RunUntil(7 * sim.Second)
+	if got := c.InjectedLoad(); got[cluster.MemBW] != 0 || got[cluster.LLC] != wantLLC {
+		t.Fatalf("after membw expiry load %v", got)
+	}
+	// Early-stop the second at 7s: its record must clamp to 7s while the
+	// first record keeps its full [0s, 6s) window.
+	stopLLC()
+	recs := in.History()
+	if len(recs) != 2 {
+		t.Fatalf("history has %d records, want 2", len(recs))
+	}
+	if recs[0].Start != 0 || recs[0].End != 6*sim.Second {
+		t.Fatalf("membw window [%v, %v), want [0s, 6s)", recs[0].Start, recs[0].End)
+	}
+	if recs[1].Start != 2*sim.Second || recs[1].End != 7*sim.Second {
+		t.Fatalf("llc window [%v, %v), want [2s, 7s)", recs[1].Start, recs[1].End)
+	}
+	if got := c.InjectedLoad(); got != (cluster.Vector{}) {
+		t.Fatalf("load after both ended: %v", got)
+	}
+	if len(in.ActiveInstancesAt(8*sim.Second)) != 0 {
+		t.Fatal("clamped record still reported active")
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"firm/internal/nn"
 	"firm/internal/rl"
 	"firm/internal/rollout"
+	"firm/internal/scenario"
 	"firm/internal/sim"
 	"firm/internal/stats"
 	"firm/internal/topology"
@@ -59,6 +60,7 @@ func Benchmarks() []Benchmark {
 		{"topology-generate-10k", "procedural generation + validation of a 10,000-service spec (the sharded sweep's top cell)", TopologyGenerate10k},
 		{"workload-arrivals", "thinned arrival sampling: 10ms of a 2,600 rps spiked-diurnal bound", WorkloadArrivals},
 		{"shard-step", "one lookahead window of an 8-shard ring at steady state (mail routing + window barrier)", ShardStep},
+		{"scenario-step", "one armed fault-scenario tick: recompute and apply every active site's pressure", ScenarioStep},
 	}
 }
 
@@ -534,4 +536,39 @@ func ShardStep(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(se.Steps()-before)/float64(b.N), "events/op")
+}
+
+// ScenarioStep measures one fault-scenario player tick with every mode
+// family active at once: per-site pressure recomputation (leak ramp,
+// plateau saturation, metastable feedback) and the injected-load delta
+// application. The campaign loop pays this every TickPeriod for each
+// armed scenario, so it must run at 0 allocs/op — sites are preallocated
+// at NewPlayer and advance only mutates them.
+func ScenarioStep(b *testing.B) {
+	spec, err := topology.Generate(topology.Params{Services: 12, Endpoints: 2, MaxFanout: 3, Depth: 3}, Seed)
+	if err != nil {
+		panic(fmt.Sprintf("perf: generate failed: %v", err))
+	}
+	tb, err := harness.New(harness.Options{Seed: Seed, Spec: spec})
+	if err != nil {
+		panic(fmt.Sprintf("perf: harness failed: %v", err))
+	}
+	const d = 30 * sim.Second
+	sc := scenario.Overlay(
+		scenario.Mode(scenario.MemLeak, 0.6, d),
+		scenario.Mode(scenario.Plateau, 0.6, d),
+		scenario.Mode(scenario.Metastable, 0.7, d),
+		scenario.Mode(scenario.Cascade, 0.7, d).WithProb(0.5),
+	)
+	p, err := scenario.NewPlayer(scenario.Env{Eng: tb.Eng, Cluster: tb.Cluster, Spec: spec}, sc, Seed)
+	if err != nil {
+		panic(fmt.Sprintf("perf: player failed: %v", err))
+	}
+	p.Arm()
+	tb.Eng.RunFor(d / 3) // mid-scenario: every atom active, sites populated
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.StepNow()
+	}
 }

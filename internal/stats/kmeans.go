@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeansResult is a converged clustering of n-dimensional observations.
+type KMeansResult struct {
+	// Centroids holds K centers, each of the input dimension.
+	Centroids [][]float64
+	// Assign maps each observation index to its centroid index.
+	Assign []int
+	// Inertia is the total squared distance from observations to their
+	// centroids (the k-means objective).
+	Inertia float64
+	// Iters is how many Lloyd iterations ran before convergence.
+	Iters int
+}
+
+// KMeans clusters obs (each a point of equal dimension) into k groups
+// with Lloyd's algorithm, seeded by k-means++ initialization drawing from
+// rng — so results are deterministic per (obs, k, rng state). maxIter
+// bounds the refinement loop (≤ 0 means 100). Fewer observations than k
+// yields one cluster per observation and empty extras collapse onto the
+// farthest point, so Assign is always total. Panics on ragged input.
+func KMeans(obs [][]float64, k int, rng *rand.Rand, maxIter int) KMeansResult {
+	if len(obs) == 0 || k <= 0 {
+		return KMeansResult{}
+	}
+	dim := len(obs[0])
+	for _, o := range obs {
+		if len(o) != dim {
+			panic("stats: ragged k-means input")
+		}
+	}
+	if k > len(obs) {
+		k = len(obs)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	cents := kmeansppInit(obs, k, rng)
+	assign := make([]int, len(obs))
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+
+	res := KMeansResult{}
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iters = iter
+		changed := false
+		res.Inertia = 0
+		for i, o := range obs {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range cents {
+				if d := sqDist(o, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			res.Inertia += bestD
+		}
+		if !changed && iter > 1 {
+			break
+		}
+		for c := range cents {
+			counts[c] = 0
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+		}
+		for i, o := range obs {
+			c := assign[i]
+			counts[c]++
+			for d, x := range o {
+				sums[c][d] += x
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				// Empty cluster: re-seat on the point farthest from its
+				// centroid (deterministic; no rng draw).
+				far, farD := 0, -1.0
+				for i, o := range obs {
+					if d := sqDist(o, cents[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(cents[c], obs[far])
+				continue
+			}
+			for d := range cents[c] {
+				cents[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	res.Centroids = cents
+	res.Assign = assign
+	return res
+}
+
+// kmeansppInit picks k starting centers: the first uniformly, each next
+// with probability proportional to squared distance from the nearest
+// chosen center (Arthur & Vassilvitskii 2007).
+func kmeansppInit(obs [][]float64, k int, rng *rand.Rand) [][]float64 {
+	cents := make([][]float64, 0, k)
+	pick := func(i int) {
+		c := make([]float64, len(obs[i]))
+		copy(c, obs[i])
+		cents = append(cents, c)
+	}
+	pick(rng.Intn(len(obs)))
+	d2 := make([]float64, len(obs))
+	for len(cents) < k {
+		var total float64
+		for i, o := range obs {
+			best := math.Inf(1)
+			for _, cent := range cents {
+				if d := sqDist(o, cent); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with chosen centers; duplicate
+			// the first point to keep k centers.
+			pick(0)
+			continue
+		}
+		x := rng.Float64() * total
+		next := len(obs) - 1
+		for i, d := range d2 {
+			x -= d
+			if x <= 0 {
+				next = i
+				break
+			}
+		}
+		pick(next)
+	}
+	return cents
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// blobs builds three well-separated gaussian-ish clusters.
+func blobs(rng *rand.Rand) ([][]float64, []int) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	var obs [][]float64
+	var truth []int
+	for ci, c := range centers {
+		for i := 0; i < 40; i++ {
+			obs = append(obs, []float64{
+				c[0] + rng.NormFloat64()*0.5,
+				c[1] + rng.NormFloat64()*0.5,
+			})
+			truth = append(truth, ci)
+		}
+	}
+	return obs, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	obs, truth := blobs(rand.New(rand.NewSource(1)))
+	res := KMeans(obs, 3, rand.New(rand.NewSource(2)), 0)
+	if len(res.Centroids) != 3 {
+		t.Fatalf("got %d centroids", len(res.Centroids))
+	}
+	// Every ground-truth blob must map to exactly one k-means cluster.
+	blobTo := map[int]int{}
+	for i, a := range res.Assign {
+		if prev, ok := blobTo[truth[i]]; ok && prev != a {
+			t.Fatalf("blob %d split across clusters %d and %d", truth[i], prev, a)
+		}
+		blobTo[truth[i]] = a
+	}
+	if len(blobTo) != 3 {
+		t.Fatalf("blobs collapsed: %v", blobTo)
+	}
+	if res.Inertia > 100 {
+		t.Fatalf("inertia %v too high for tight blobs", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministicPerSeed(t *testing.T) {
+	obs, _ := blobs(rand.New(rand.NewSource(3)))
+	a := KMeans(obs, 3, rand.New(rand.NewSource(7)), 0)
+	b := KMeans(obs, 3, rand.New(rand.NewSource(7)), 0)
+	if a.Inertia != b.Inertia || a.Iters != b.Iters {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+	for c := range a.Centroids {
+		for d := range a.Centroids[c] {
+			if a.Centroids[c][d] != b.Centroids[c][d] {
+				t.Fatal("centroids differ")
+			}
+		}
+	}
+}
+
+func TestKMeansDegenerateInputs(t *testing.T) {
+	if res := KMeans(nil, 3, rand.New(rand.NewSource(1)), 0); res.Assign != nil {
+		t.Fatalf("empty input should yield zero result: %+v", res)
+	}
+	// Fewer points than k: k collapses to len(obs).
+	obs := [][]float64{{1, 1}, {2, 2}}
+	res := KMeans(obs, 5, rand.New(rand.NewSource(1)), 0)
+	if len(res.Centroids) != 2 || len(res.Assign) != 2 {
+		t.Fatalf("k should clamp to n: %+v", res)
+	}
+	// Identical points: must terminate with total assignment.
+	same := [][]float64{{4, 4}, {4, 4}, {4, 4}}
+	res = KMeans(same, 2, rand.New(rand.NewSource(1)), 0)
+	if len(res.Assign) != 3 {
+		t.Fatalf("assign not total: %+v", res)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points should have zero inertia: %v", res.Inertia)
+	}
+}
+
+func TestKMeansRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged input must panic")
+		}
+	}()
+	KMeans([][]float64{{1, 2}, {1}}, 1, rand.New(rand.NewSource(1)), 0)
+}

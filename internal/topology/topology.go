@@ -319,6 +319,41 @@ func (s *Spec) serviceNames() []string {
 	return names
 }
 
+// Edges returns the distinct directed caller→callee service pairs across
+// every endpoint workflow, sorted by (from, to). This is the dependency
+// structure that cascading-failure and partition scenarios propagate
+// along. Assumes an acyclic spec (see Validate).
+func (s *Spec) Edges() [][2]string {
+	seen := make(map[[2]string]bool)
+	var out [][2]string
+	var walk func(c *Call)
+	walk = func(c *Call) {
+		for _, ch := range c.Children {
+			if ch.Call == nil {
+				continue
+			}
+			e := [2]string{c.Service, ch.Call.Service}
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+			walk(ch.Call)
+		}
+	}
+	for _, ep := range s.Endpoints {
+		if ep.Root != nil {
+			walk(ep.Root)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 // NumServices returns the number of distinct microservices.
 func (s *Spec) NumServices() int { return len(s.Services) }
 

@@ -76,6 +76,7 @@ func DefaultConfig() Config {
 		"firm/internal/nn",
 		"firm/internal/rl",
 		"firm/internal/rollout",
+		"firm/internal/scenario",
 		"firm/internal/experiments",
 	}}
 }
